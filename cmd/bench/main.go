@@ -1,0 +1,52 @@
+// Command bench regenerates the reproduction's experiment tables
+// E1–E12 (see DESIGN.md §4 and EXPERIMENTS.md): one experiment per
+// theorem, lemma, worked example and proposition of the paper.  Every
+// row is checked against the paper's claim; a MISMATCH in any table
+// (and a nonzero exit) means the reproduction diverges.
+//
+// Usage:
+//
+//	bench            # run everything (full sweeps)
+//	bench -exp E7    # one experiment
+//	bench -quick     # shortened sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "run a single experiment (E1..E12)")
+		quick = flag.Bool("quick", false, "shorten parameter sweeps")
+		list  = flag.Bool("list", false, "list experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s  [%s]\n", e.ID, e.Title, e.Source)
+		}
+		return
+	}
+	if *exp != "" {
+		e, ok := experiments.Find(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		if err := experiments.RunOne(os.Stdout, e, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := experiments.RunAll(os.Stdout, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}

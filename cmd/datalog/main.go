@@ -1,0 +1,84 @@
+// Command datalog evaluates a DATALOG¬ program on a fact file under a
+// chosen semantics and prints the computed relations.
+//
+// Usage:
+//
+//	datalog -program tc.dl -facts graph.dl [-semantics inflationary] [-mode seminaive] [-stats]
+//
+// Semantics: inflationary (default, the paper's Section 4 proposal),
+// lfp (positive/semipositive programs), stratified, wellfounded.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/semantics"
+)
+
+func main() {
+	var (
+		programPath = flag.String("program", "", "path to the DATALOG¬ program")
+		factsPath   = flag.String("facts", "", "path to the fact file")
+		semName     = flag.String("semantics", "inflationary", "inflationary|lfp|stratified|wellfounded")
+		modeName    = flag.String("mode", "seminaive", "seminaive|naive stage evaluation")
+		stats       = flag.Bool("stats", false, "print evaluation statistics")
+	)
+	flag.Parse()
+	if *programPath == "" || *factsPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: datalog -program FILE -facts FILE [-semantics NAME]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	prog, err := parser.ProgramFile(*programPath)
+	if err != nil {
+		fatal(err)
+	}
+	db, err := parser.FactsFile(*factsPath)
+	if err != nil {
+		fatal(err)
+	}
+	sem, err := core.ParseSemantics(*semName)
+	if err != nil {
+		fatal(err)
+	}
+	mode := semantics.SemiNaive
+	switch *modeName {
+	case "seminaive":
+	case "naive":
+		mode = semantics.Naive
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *modeName))
+	}
+
+	res, err := core.Eval(prog, db, sem, mode)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%% class: %v, semantics: %v\n", res.Class, res.Semantics)
+	for _, pred := range res.State.Preds() {
+		fmt.Printf("%s/%d = %s\n", pred, res.State[pred].Arity(), res.State[pred].Format(res.Universe))
+	}
+	if res.WF != nil && !res.WF.Total() {
+		fmt.Println("% undefined atoms (three-valued model):")
+		und := res.WF.Undefined()
+		for _, pred := range und.Preds() {
+			if und[pred].Len() > 0 {
+				fmt.Printf("%% undef %s = %s\n", pred, und[pred].Format(res.Universe))
+			}
+		}
+	}
+	if *stats {
+		fmt.Printf("%% rounds=%d tuples=%d maxDelta=%d\n",
+			res.Stats.Rounds, res.Stats.Tuples, res.Stats.MaxDeltaTuples)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datalog:", err)
+	os.Exit(1)
+}

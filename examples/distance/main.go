@@ -1,0 +1,116 @@
+// distance reproduces Proposition 2: the distance query
+// D(x,y,x*,y*) — "is there a path x→y no longer than every path
+// x*→y*?" — is computed by a DATALOG¬ program under inflationary
+// semantics, while the *same rules* under stratified semantics compute
+// the different query TC(x,y) ∧ ¬TC(x*,y*).  The query is also
+// non-monotone, so no negation-free DATALOG program expresses it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/graphs"
+	"repro/internal/relation"
+)
+
+const distanceSrc = `
+s1(X,Y) :- e(X,Y).
+s1(X,Y) :- e(X,Z), s1(Z,Y).
+s2(Xs,Ys) :- e(Xs,Ys).
+s2(Xs,Ys) :- e(Xs,Zs), s2(Zs,Ys).
+s3(X,Y,Xs,Ys) :- e(X,Y), !s2(Xs,Ys).
+s3(X,Y,Xs,Ys) :- e(X,Z), s1(Z,Y), !s2(Xs,Ys).
+`
+
+func main() {
+	prog, err := repro.ParseProgram(distanceSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The path a→b→c→d plus a shortcut a→c.
+	db, err := repro.ParseFacts("e(a,b). e(b,c). e(c,d). e(a,c).")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	infl, err := repro.Inflationary(prog, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	strat, err := repro.Stratified(prog, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("graph: a→b→c→d with shortcut a→c")
+	fmt.Println("program (the paper's Proposition 2 rules):")
+	fmt.Print(distanceSrc)
+
+	// Probe a few interesting quadruples.
+	lookup := func(res *repro.Result, names ...string) bool {
+		t := make(relation.Tuple, len(names))
+		for i, nm := range names {
+			id, ok := res.Universe.Lookup(nm)
+			if !ok {
+				return false
+			}
+			t[i] = id
+		}
+		return res.State["s3"].Has(t)
+	}
+	fmt.Println("\nquery                           inflationary  stratified")
+	for _, q := range [][4]string{
+		{"a", "c", "a", "d"}, // dist(a,c)=1 ≤ dist(a,d)=2: D yes; TC∧¬TC: no (TC(a,d) holds)
+		{"a", "d", "a", "b"}, // dist(a,d)=2 > dist(a,b)=1: D no;  TC∧¬TC: no
+		{"a", "b", "d", "a"}, // no path d→a: both yes
+		{"b", "d", "a", "c"}, // dist(b,d)=2 > dist(a,c)=1: D no; TC∧¬TC no
+	} {
+		fmt.Printf("D(%s,%s | %s,%s)%18v  %10v\n", q[0], q[1], q[2], q[3],
+			lookup(infl, q[:]...), lookup(strat, q[:]...))
+	}
+	fmt.Println("\nthe two semantics disagree on D(a,c | a,d): inflationary answers the")
+	fmt.Println("distance comparison, stratified answers TC(a,c) ∧ ¬TC(a,d).")
+
+	// Cross-check inflationary against BFS on a random graph.
+	g := graphs.Grid(3, 4)
+	gdb := g.Database()
+	src := `
+s1(X,Y) :- E(X,Y).
+s1(X,Y) :- E(X,Z), s1(Z,Y).
+s2(Xs,Ys) :- E(Xs,Ys).
+s2(Xs,Ys) :- E(Xs,Zs), s2(Zs,Ys).
+s3(X,Y,Xs,Ys) :- E(X,Y), !s2(Xs,Ys).
+s3(X,Y,Xs,Ys) :- E(X,Z), s1(Z,Y), !s2(Xs,Ys).
+`
+	prog2, _ := repro.ParseProgram(src)
+	res, err := repro.Inflationary(prog2, gdb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist := g.Distances()
+	mismatches := 0
+	n := g.N()
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			for xs := 0; xs < n; xs++ {
+				for ys := 0; ys < n; ys++ {
+					want := dist[x][y] > 0 && (dist[xs][ys] < 0 || dist[x][y] <= dist[xs][ys])
+					id := func(v int) int {
+						u, _ := res.Universe.Lookup(graphs.VertexName(v))
+						return u
+					}
+					got := res.State["s3"].Has(relation.Tuple{id(x), id(y), id(xs), id(ys)})
+					if got != want {
+						mismatches++
+					}
+				}
+			}
+		}
+	}
+	fmt.Printf("\n3×4 grid cross-check against BFS: %d mismatches over %d quadruples\n",
+		mismatches, n*n*n*n)
+	fmt.Printf("inflationary stages: %d (= graph diameter + 1, within the |A|⁴ bound)\n",
+		res.Stats.Rounds)
+}

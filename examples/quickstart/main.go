@@ -1,0 +1,61 @@
+// Quickstart: evaluate the paper's canonical programs through the
+// public facade — transitive closure (π₃, a positive DATALOG program)
+// under least-fixpoint semantics, and π₁ (negation through recursion)
+// under the inflationary semantics of Section 4, plus a fixpoint
+// analysis showing why "least fixpoint if it exists" is not a workable
+// semantics for negation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// --- π₃: transitive closure, the standard DATALOG semantics.
+	tc, err := repro.ParseProgram(`
+s(X,Y) :- e(X,Y).
+s(X,Y) :- e(X,Z), s(Z,Y).
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := repro.ParseFacts("e(a,b). e(b,c). e(c,d).")
+	if err != nil {
+		log.Fatal(err)
+	}
+	lfp, err := repro.LeastFixpoint(tc, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("transitive closure (least fixpoint):")
+	fmt.Println("  s =", lfp.State["s"].Format(lfp.Universe))
+
+	// --- π₁: T(x) ← E(y,x), ¬T(y) — negation through recursion.
+	pi1, err := repro.ParseProgram("t(X) :- e(Y,X), !t(Y).")
+	if err != nil {
+		log.Fatal(err)
+	}
+	infl, err := repro.Inflationary(pi1, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nπ₁ under inflationary semantics (Θ^∞ = Θ¹ = targets of edges):")
+	fmt.Println("  t =", infl.State["t"].Format(infl.Universe))
+
+	// --- Why not plain fixpoints?  On an even cycle π₁ has two
+	// incomparable fixpoints and no least one; on an odd cycle, none.
+	even, _ := repro.ParseFacts("e(v1,v2). e(v2,v3). e(v3,v4). e(v4,v1).")
+	odd, _ := repro.ParseFacts("e(v1,v2). e(v2,v3). e(v3,v1).")
+	for name, d := range map[string]*repro.Database{"C4": even, "C3": odd} {
+		rep, err := repro.Analyze(pi1, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nπ₁ on %s: fixpoint exists=%v, count=%d, unique=%v\n",
+			name, rep.Exists, rep.Count, rep.Unique)
+	}
+	fmt.Println("\n(inflationary semantics assigns meaning in every case — the paper's point)")
+}

@@ -1,0 +1,58 @@
+// succinct reproduces Theorem 4: a Boolean circuit with 2n inputs
+// presents a graph on {0,1}ⁿ; the construction π_SC turns the circuit
+// into a DATALOG¬ program over the binary domain whose fixpoint
+// existence decides SUCCINCT 3-COLORING — the problem that makes
+// fixpoint existence NEXP-complete when the program is part of the
+// input.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/circuit"
+	"repro/internal/engine"
+	"repro/internal/fixpoint"
+	"repro/internal/reductions"
+)
+
+func main() {
+	for _, cs := range []struct {
+		name string
+		sg   *circuit.SuccinctGraph
+	}{
+		{"directed cycle on 2^2 = 4 vertices (2-colorable)", circuit.CycleGraph(2)},
+		{"complete graph K4 (not 3-colorable)", circuit.CompleteGraph(2)},
+		{"complete graph K2 (3-colorable)", circuit.CompleteGraph(1)},
+	} {
+		fmt.Printf("=== %s\n", cs.name)
+		fmt.Printf("circuit: %d gates, %d inputs → graph on %d vertices\n",
+			cs.sg.C.Size(), 2*cs.sg.N, cs.sg.NumVertices())
+
+		prog, db := reductions.PiSuccinct3Col(cs.sg)
+		fmt.Printf("π_SC: %d rules over the domain {0,1} (gate relations of arity %d)\n",
+			len(prog.Rules), 2*cs.sg.N)
+
+		in, err := engine.New(prog, db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		has, st, err := fixpoint.Exists(in, fixpoint.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		explicit := reductions.ExplicitGraph(cs.sg)
+		_, colorable := explicit.ThreeColoring()
+		fmt.Printf("fixpoint exists: %v   explicit graph 3-colorable: %v\n", has, colorable)
+
+		if has {
+			colors := reductions.SuccinctColoringFromFixpoint(cs.sg, in, st)
+			fmt.Printf("coloring read from the fixpoint: %v (proper: %v)\n",
+				colors, explicit.IsProper3Coloring(colors))
+		}
+		fmt.Println()
+	}
+	fmt.Println("the succinct program stays polynomial in the circuit while the presented")
+	fmt.Println("graph doubles with every extra address bit — Theorem 4's NEXP gap.")
+}

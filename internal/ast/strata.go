@@ -1,0 +1,137 @@
+package ast
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DepEdge is one edge of the predicate dependency graph: the head
+// predicate depends on the body predicate, positively or negatively.
+type DepEdge struct {
+	From, To string // From = head predicate, To = body predicate
+	Negative bool
+}
+
+// DependencyGraph returns the program's predicate dependency edges,
+// deduplicated (a negative edge subsumes a positive one between the
+// same pair) and sorted for determinism.
+func (p *Program) DependencyGraph() []DepEdge {
+	type key struct{ from, to string }
+	neg := make(map[key]bool)
+	seen := make(map[key]bool)
+	for _, r := range p.Rules {
+		for _, l := range r.Body {
+			if l.Kind != LitPos && l.Kind != LitNeg {
+				continue
+			}
+			k := key{r.Head.Pred, l.Atom.Pred}
+			seen[k] = true
+			if l.Kind == LitNeg {
+				neg[k] = true
+			}
+		}
+	}
+	out := make([]DepEdge, 0, len(seen))
+	for k := range seen {
+		out = append(out, DepEdge{From: k.from, To: k.to, Negative: neg[k]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Stratification assigns each predicate a stratum number such that a
+// predicate's definition uses same-stratum predicates only positively
+// and negated predicates only from strictly lower strata.
+type Stratification struct {
+	// Level maps each predicate (EDB and IDB) to its stratum; EDB
+	// predicates are always on stratum 0.
+	Level map[string]int
+	// Strata groups the IDB predicates by stratum, lowest first; names
+	// within a stratum are sorted.
+	Strata [][]string
+}
+
+// NumStrata returns the number of IDB strata.
+func (s *Stratification) NumStrata() int { return len(s.Strata) }
+
+// Stratify computes a stratification of the program, or an error if the
+// program has recursion through negation (and hence no stratification —
+// exactly the programs for which the paper's Section 1 notes stratified
+// semantics assigns no meaning).
+func (p *Program) Stratify() (*Stratification, error) {
+	idb := p.IDB()
+	level := make(map[string]int)
+	for pred := range idb {
+		level[pred] = 0
+	}
+	for pred := range p.EDB() {
+		level[pred] = 0
+	}
+
+	edges := p.DependencyGraph()
+	// Relax constraints until a fixpoint: head ≥ body for positive
+	// edges into IDB predicates, head ≥ body+1 for negative ones.  If a
+	// level exceeds the number of IDB predicates there is a negative
+	// cycle.
+	maxLevel := len(idb)
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			if !idb[e.To] {
+				continue // EDB predicates stay at level 0
+			}
+			need := level[e.To]
+			if e.Negative {
+				need++
+			}
+			if level[e.From] < need {
+				level[e.From] = need
+				if level[e.From] > maxLevel {
+					return nil, fmt.Errorf("program is not stratifiable: recursion through negation involving %s", e.From)
+				}
+				changed = true
+			}
+		}
+	}
+
+	// Compact stratum numbers of IDB predicates to 0..k-1.
+	used := make(map[int]bool)
+	for pred := range idb {
+		used[level[pred]] = true
+	}
+	var levels []int
+	for l := range used {
+		levels = append(levels, l)
+	}
+	sort.Ints(levels)
+	remap := make(map[int]int, len(levels))
+	for i, l := range levels {
+		remap[l] = i
+	}
+	strata := make([][]string, len(levels))
+	for pred := range idb {
+		level[pred] = remap[level[pred]]
+		strata[level[pred]] = append(strata[level[pred]], pred)
+	}
+	for i := range strata {
+		sort.Strings(strata[i])
+	}
+	return &Stratification{Level: level, Strata: strata}, nil
+}
+
+// RulesForStratum returns the rules whose head predicate lies on the
+// given stratum, in program order.
+func (p *Program) RulesForStratum(s *Stratification, stratum int) []Rule {
+	var out []Rule
+	for _, r := range p.Rules {
+		if s.Level[r.Head.Pred] == stratum {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,287 @@
+package cnf
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder()
+	x := b.NewVar()
+	y := b.NewVar()
+	b.Add(x, -y)
+	f := b.Formula()
+	if f.NumVars != 2 || len(f.Clauses) != 1 {
+		t.Fatalf("formula = %+v", f)
+	}
+	if got := b.NewVars(3); got != 3 {
+		t.Errorf("NewVars first = %d, want 3", got)
+	}
+	if b.NumVars() != 5 {
+		t.Errorf("NumVars = %d", b.NumVars())
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	b := NewBuilder()
+	b.NewVar()
+	for _, lits := range [][]int{{0}, {2}, {-5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add(%v) did not panic", lits)
+				}
+			}()
+			b.Add(lits...)
+		}()
+	}
+}
+
+// evalGate exhaustively checks a gate encoding: for every assignment
+// to the inputs, the output variable's forced value must match want.
+func evalGate(t *testing.T, f *Formula, inputs []int, out int, want func(vals []bool) bool) {
+	t.Helper()
+	n := len(inputs)
+	for mask := 0; mask < 1<<n; mask++ {
+		vals := make([]bool, n)
+		for i := range vals {
+			vals[i] = mask&(1<<i) != 0
+		}
+		// Try both polarities of out with the inputs fixed; exactly the
+		// one equal to want(vals) must satisfy the formula.
+		for _, ov := range []bool{false, true} {
+			assign := make([]bool, f.NumVars+1)
+			for i, v := range inputs {
+				assign[v] = vals[i]
+			}
+			assign[out] = ov
+			if f.Eval(assign) != (ov == want(vals)) {
+				t.Fatalf("gate wrong at inputs %v out=%v", vals, ov)
+			}
+		}
+	}
+}
+
+func TestAndGate(t *testing.T) {
+	b := NewBuilder()
+	x, y := b.NewVar(), b.NewVar()
+	out := b.And(x, y)
+	evalGate(t, b.Formula(), []int{x, y}, out, func(v []bool) bool { return v[0] && v[1] })
+}
+
+func TestOrGate(t *testing.T) {
+	b := NewBuilder()
+	x, y := b.NewVar(), b.NewVar()
+	out := b.Or(x, y)
+	evalGate(t, b.Formula(), []int{x, y}, out, func(v []bool) bool { return v[0] || v[1] })
+}
+
+func TestAndNOrN(t *testing.T) {
+	b := NewBuilder()
+	x, y, z := b.NewVar(), b.NewVar(), b.NewVar()
+	a := b.AndN(x, y, z)
+	evalGate(t, b.Formula(), []int{x, y, z}, a, func(v []bool) bool { return v[0] && v[1] && v[2] })
+
+	b2 := NewBuilder()
+	p, q, r := b2.NewVar(), b2.NewVar(), b2.NewVar()
+	o := b2.OrN(p, -q, r)
+	evalGate(t, b2.Formula(), []int{p, q, r}, o, func(v []bool) bool { return v[0] || !v[1] || v[2] })
+}
+
+func TestEmptyGates(t *testing.T) {
+	b := NewBuilder()
+	a := b.AndN()
+	o := b.OrN()
+	f := b.Formula()
+	assign := make([]bool, f.NumVars+1)
+	assign[a], assign[o] = true, false
+	if !f.Eval(assign) {
+		t.Error("empty AndN/OrN should force true/false")
+	}
+	assign[a] = false
+	if f.Eval(assign) {
+		t.Error("empty AndN should not allow false")
+	}
+}
+
+func TestIffOr(t *testing.T) {
+	b := NewBuilder()
+	a, x, y := b.NewVar(), b.NewVar(), b.NewVar()
+	b.IffOr(a, x, -y)
+	f := b.Formula()
+	for mask := 0; mask < 8; mask++ {
+		assign := []bool{false, mask&1 != 0, mask&2 != 0, mask&4 != 0}
+		want := assign[1] == (assign[2] || !assign[3])
+		if f.Eval(assign) != want {
+			t.Errorf("IffOr wrong at %v", assign[1:])
+		}
+	}
+
+	// Empty disjunction forces ¬a.
+	b2 := NewBuilder()
+	a2 := b2.NewVar()
+	b2.IffOr(a2)
+	if !b2.Formula().Eval([]bool{false, false}) || b2.Formula().Eval([]bool{false, true}) {
+		t.Error("empty IffOr should force a false")
+	}
+}
+
+func TestExactlyOne(t *testing.T) {
+	b := NewBuilder()
+	x, y, z := b.NewVar(), b.NewVar(), b.NewVar()
+	b.ExactlyOne(x, y, z)
+	f := b.Formula()
+	count := 0
+	for mask := 0; mask < 8; mask++ {
+		assign := []bool{false, mask&1 != 0, mask&2 != 0, mask&4 != 0}
+		if f.Eval(assign) {
+			count++
+			ones := 0
+			for _, v := range assign[1:] {
+				if v {
+					ones++
+				}
+			}
+			if ones != 1 {
+				t.Errorf("ExactlyOne satisfied with %d ones", ones)
+			}
+		}
+	}
+	if count != 3 {
+		t.Errorf("ExactlyOne model count = %d, want 3", count)
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	x, y, z := b.NewVar(), b.NewVar(), b.NewVar()
+	b.Add(x, -y)
+	b.Add(-x, y, z)
+	b.Add(-z)
+	f := b.Formula()
+
+	text := f.String()
+	f2, err := ParseDIMACS(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.NumVars != f.NumVars || len(f2.Clauses) != len(f.Clauses) {
+		t.Fatalf("round trip: %s vs %s", f.Stats(), f2.Stats())
+	}
+	for i := range f.Clauses {
+		if len(f.Clauses[i]) != len(f2.Clauses[i]) {
+			t.Fatalf("clause %d differs", i)
+		}
+		for j := range f.Clauses[i] {
+			if f.Clauses[i][j] != f2.Clauses[i][j] {
+				t.Fatalf("clause %d lit %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestParseDIMACSWithComments(t *testing.T) {
+	src := `c a comment
+p cnf 3 2
+1 -2 0
+c mid comment
+2 3 0
+`
+	f, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 3 || len(f.Clauses) != 2 {
+		t.Errorf("parsed %s", f.Stats())
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	for _, src := range []string{
+		"1 2 0\n",            // missing problem line
+		"p cnf x 2\n1 0\n",   // bad var count
+		"p cnf 2 1\n1 a 0\n", // bad literal
+		"p dnf 2 1\n1 0\n",   // wrong format tag
+	} {
+		if _, err := ParseDIMACS(strings.NewReader(src)); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestVars(t *testing.T) {
+	b := NewBuilder()
+	b.NewVars(5)
+	b.Add(1, -3)
+	b.Add(5)
+	got := b.Formula().Vars()
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Errorf("Vars = %v", got)
+	}
+}
+
+func TestPropTseitinPreservesModels(t *testing.T) {
+	// Building a random gate tree and asserting its output true must
+	// have the same projected models as the formula evaluated directly.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder()
+		const nIn = 4
+		in := make([]int, nIn)
+		for i := range in {
+			in[i] = b.NewVar()
+		}
+		// Random tree of gates over the inputs.
+		nodes := append([]int{}, in...)
+		for i := 0; i < 4; i++ {
+			x := nodes[rng.Intn(len(nodes))]
+			y := nodes[rng.Intn(len(nodes))]
+			var g int
+			if rng.Intn(2) == 0 {
+				g = b.And(x, y)
+			} else {
+				g = b.Or(x, y)
+			}
+			nodes = append(nodes, g)
+		}
+		root := nodes[len(nodes)-1]
+		b.Unit(root)
+		formula := b.Formula()
+
+		// Count projected models by brute force over ALL vars, then
+		// project; compare against direct evaluation of the gate tree.
+		n := formula.NumVars
+		projected := make(map[int]bool)
+		assign := make([]bool, n+1)
+		var full func(v int)
+		satisfying := 0
+		full = func(v int) {
+			if v > n {
+				if formula.Eval(assign) {
+					mask := 0
+					for i, iv := range in {
+						if assign[iv] {
+							mask |= 1 << i
+						}
+					}
+					projected[mask] = true
+					satisfying++
+				}
+				return
+			}
+			assign[v] = false
+			full(v + 1)
+			assign[v] = true
+			full(v + 1)
+		}
+		full(1)
+		// Tseitin encodings are functional: every projected model has
+		// exactly one extension, so totals match.
+		return satisfying == len(projected)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

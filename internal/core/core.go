@@ -1,0 +1,210 @@
+// Package core is the paper-facing API of the reproduction: one entry
+// point to evaluate a DATALOG¬ program under any of the four semantics
+// the paper discusses, and one to analyze the fixpoint structure of
+// (π, D) — existence, count, uniqueness, least fixpoint — realizing
+// the decision problems of Theorems 1–3 on concrete inputs.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/engine"
+	"repro/internal/fixpoint"
+	"repro/internal/ground"
+	"repro/internal/relation"
+	"repro/internal/semantics"
+)
+
+// Semantics selects an evaluation semantics.
+type Semantics int
+
+// The four semantics.
+const (
+	// Inflationary is the paper's Section 4 proposal: Θ^∞, total on
+	// all DATALOG¬ programs, polynomial-time data complexity.
+	Inflationary Semantics = iota
+	// LFP is the standard least-fixpoint semantics, defined for
+	// positive and semipositive programs.
+	LFP
+	// Stratified is the Chandra–Harel stratified semantics, defined
+	// for stratifiable programs.
+	Stratified
+	// WellFounded is Van Gelder's three-valued semantics, total on
+	// all programs (the modern comparison point).
+	WellFounded
+)
+
+// String names the semantics.
+func (s Semantics) String() string {
+	switch s {
+	case Inflationary:
+		return "inflationary"
+	case LFP:
+		return "lfp"
+	case Stratified:
+		return "stratified"
+	case WellFounded:
+		return "well-founded"
+	}
+	return "unknown"
+}
+
+// ParseSemantics maps a name (as accepted by the CLIs) to a Semantics.
+func ParseSemantics(name string) (Semantics, error) {
+	switch name {
+	case "inflationary", "inf":
+		return Inflationary, nil
+	case "lfp", "least":
+		return LFP, nil
+	case "stratified", "strat":
+		return Stratified, nil
+	case "wellfounded", "well-founded", "wf":
+		return WellFounded, nil
+	}
+	return 0, fmt.Errorf("core: unknown semantics %q (want inflationary|lfp|stratified|wellfounded)", name)
+}
+
+// EvalResult is the outcome of Eval.
+type EvalResult struct {
+	// Semantics echoes the semantics evaluated.
+	Semantics Semantics
+	// Class is the syntactic class of the program.
+	Class ast.Class
+	// State holds the computed relations (for WellFounded, the
+	// certainly-true part).
+	State engine.State
+	// Universe names the constants of State's tuples.
+	Universe *relation.Universe
+	// Stats reports evaluation effort.
+	Stats semantics.Stats
+	// WF carries the full three-valued result for WellFounded.
+	WF *semantics.WFResult
+}
+
+// Carrier returns the relation of the program's carrier predicate (or
+// the sole IDB relation if unset and unambiguous).
+func (r *EvalResult) Carrier(prog *ast.Program) (*relation.Relation, error) {
+	name := prog.Carrier
+	if name == "" {
+		idb := prog.IDBList()
+		if len(idb) != 1 {
+			return nil, fmt.Errorf("core: program has %d IDB relations and no carrier", len(idb))
+		}
+		name = idb[0]
+	}
+	rel, ok := r.State[name]
+	if !ok {
+		return nil, fmt.Errorf("core: carrier %s not in result", name)
+	}
+	return rel, nil
+}
+
+// Eval evaluates prog on db under the chosen semantics.  The database
+// is not modified (evaluation works on a clone, since the engine
+// interns program constants into the universe it is given).
+func Eval(prog *ast.Program, db *relation.Database, sem Semantics, mode semantics.Mode) (*EvalResult, error) {
+	if _, err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	res := &EvalResult{Semantics: sem, Class: prog.Classify()}
+	switch sem {
+	case Stratified:
+		r, err := semantics.StratifiedMode(prog, db, mode)
+		if err != nil {
+			return nil, err
+		}
+		res.State, res.Stats, res.Universe = r.State, r.Stats, r.Universe
+	case Inflationary:
+		in, err := engine.New(prog, db.Clone())
+		if err != nil {
+			return nil, err
+		}
+		r := semantics.InflationaryMode(in, mode)
+		res.State, res.Stats, res.Universe = r.State, r.Stats, r.Universe
+	case LFP:
+		in, err := engine.New(prog, db.Clone())
+		if err != nil {
+			return nil, err
+		}
+		r, err := semantics.LeastFixpointMode(in, mode)
+		if err != nil {
+			return nil, err
+		}
+		res.State, res.Stats, res.Universe = r.State, r.Stats, r.Universe
+	case WellFounded:
+		in, err := engine.New(prog, db.Clone())
+		if err != nil {
+			return nil, err
+		}
+		wf := semantics.WellFoundedMode(in, mode)
+		res.State, res.Stats, res.Universe = wf.True, wf.Stats, in.Universe()
+		res.WF = wf
+	default:
+		return nil, fmt.Errorf("core: unknown semantics %d", sem)
+	}
+	return res, nil
+}
+
+// AnalyzeOptions configures Analyze.
+type AnalyzeOptions struct {
+	// CountLimit caps fixpoint counting (0 = count exactly up to the
+	// fixpoint package's enumeration cap).
+	CountLimit int
+	// WithLeast additionally runs the Theorem 3 least-fixpoint
+	// criterion (requires exhaustive enumeration; exponential in the
+	// worst case).
+	WithLeast bool
+	// Ground bounds the grounding.
+	Ground ground.Options
+}
+
+// Report is the outcome of Analyze: the fixpoint structure of (π, D).
+type Report struct {
+	Class ast.Class
+	// Exists and Example: Theorem 1's decision problem.
+	Exists  bool
+	Example engine.State
+	// Count of fixpoints (exact when CountExact).
+	Count      int
+	CountExact bool
+	// Unique: Theorem 2's decision problem (Count == 1).
+	Unique bool
+	// Least: Theorem 3's analysis, when requested.
+	Least *fixpoint.LeastResult
+	// Universe names the constants of the states above.
+	Universe *relation.Universe
+}
+
+// Analyze decides fixpoint existence, count, uniqueness and (on
+// request) least-fixpoint existence for (π, D).  The database is not
+// modified.
+func Analyze(prog *ast.Program, db *relation.Database, opt AnalyzeOptions) (*Report, error) {
+	if _, err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	work := db.Clone()
+	in, err := engine.New(prog, work)
+	if err != nil {
+		return nil, err
+	}
+	fpOpt := fixpoint.Options{Ground: opt.Ground}
+	rep := &Report{Class: prog.Classify(), Universe: work.Universe()}
+
+	rep.Exists, rep.Example, err = fixpoint.Exists(in, fpOpt)
+	if err != nil {
+		return nil, err
+	}
+	rep.Count, rep.CountExact, err = fixpoint.Count(in, fpOpt, opt.CountLimit)
+	if err != nil {
+		return nil, err
+	}
+	rep.Unique = rep.CountExact && rep.Count == 1
+	if opt.WithLeast {
+		rep.Least, err = fixpoint.Least(in, fpOpt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}

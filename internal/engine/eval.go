@@ -1,0 +1,239 @@
+package engine
+
+import "repro/internal/relation"
+
+// evalCtx carries the relation sources for one rule evaluation: posRel
+// resolves the i-th positive literal, negRel the i-th negated literal.
+type evalCtx struct {
+	posRel func(i int) *relation.Relation
+	negRel func(i int) *relation.Relation
+	out    *relation.Relation
+	usize  int
+}
+
+// Apply computes Θ(S̄): the relations derived from the database and s by
+// one parallel application of all rules.  Apply never reads its output
+// while deriving, so it is the paper's simultaneous operator.
+func (in *Instance) Apply(s State) State { return in.ApplySplit(s, s) }
+
+// ApplySplit evaluates positive IDB literals against pos and negated
+// IDB literals against neg.  With pos = neg it is Θ; with neg held
+// fixed it is the monotone operator whose least fixpoint is the
+// Gelfond–Lifschitz style Γ(neg) used by the well-founded alternating
+// fixpoint.
+func (in *Instance) ApplySplit(pos, neg State) State {
+	out := in.NewState()
+	for _, rp := range in.plans {
+		in.evalRule(rp, pos, neg, out, nil)
+	}
+	return out
+}
+
+// ApplyDelta computes the subset of Θ(cur) derivable by rule
+// applications that use at least one tuple of delta in a positive IDB
+// literal.  old must be the previous stage (cur = old ∪ delta).
+// Negated literals are evaluated against cur.  Rules without positive
+// IDB literals contribute nothing (their derivations never depend on
+// the delta; see the package comment).
+func (in *Instance) ApplyDelta(old, delta, cur State) State {
+	return in.ApplyDeltaSplit(old, delta, cur, cur)
+}
+
+// ApplyDeltaSplit is ApplyDelta with negated IDB literals evaluated
+// against an explicit state neg instead of cur.
+func (in *Instance) ApplyDeltaSplit(old, delta, cur, neg State) State {
+	out := in.NewState()
+	for _, rp := range in.plans {
+		if len(rp.posIDB) == 0 {
+			continue
+		}
+		// Variant v: positive IDB literals before the v-th read old,
+		// the v-th reads delta, later ones read cur.  Every derivation
+		// using ≥1 delta tuple is covered exactly once by the variant
+		// whose index is its first delta position.
+		for v := range rp.posIDB {
+			variant := make(map[int]State, len(rp.posIDB))
+			for k, litIdx := range rp.posIDB {
+				switch {
+				case k < v:
+					variant[litIdx] = old
+				case k == v:
+					variant[litIdx] = delta
+				default:
+					variant[litIdx] = cur
+				}
+			}
+			in.evalRule(rp, cur, neg, out, variant)
+		}
+	}
+	return out
+}
+
+// IsFixpoint reports whether Θ(S̄) = S̄, i.e. whether s is a fixpoint of
+// (π, D) in the paper's sense.
+func (in *Instance) IsFixpoint(s State) bool {
+	return in.Apply(s).Equal(s)
+}
+
+// evalRule evaluates one rule plan.  posState resolves positive IDB
+// literals, negState negated ones; posOverride, when non-nil, overrides
+// the state used by specific positive literal indices (the semi-naive
+// variants).
+func (in *Instance) evalRule(rp *rulePlan, posState, negState State, out State, posOverride map[int]State) {
+	ctx := &evalCtx{
+		usize: in.db.Universe().Size(),
+		out:   out[rp.headPred],
+		posRel: func(i int) *relation.Relation {
+			lp := rp.positives[i]
+			if !lp.idb {
+				return in.edbRel(lp.pred)
+			}
+			if posOverride != nil {
+				if st, ok := posOverride[i]; ok {
+					return st[lp.pred]
+				}
+			}
+			return posState[lp.pred]
+		},
+		negRel: func(i int) *relation.Relation {
+			np := rp.negatives[i]
+			if !np.idb {
+				return in.edbRel(np.pred)
+			}
+			return negState[np.pred]
+		},
+	}
+	binding := make([]int, rp.nvars)
+	for i := range binding {
+		binding[i] = -1
+	}
+	in.run(rp, ctx, 0, binding)
+}
+
+// slotValue resolves a slot under the current binding; -1 means the
+// slot holds an unbound variable.
+func slotValue(s slot, binding []int) int {
+	if s.isConst {
+		return s.val
+	}
+	return binding[s.val]
+}
+
+// run executes the plan from step si under the given partial binding,
+// emitting head tuples into ctx.out.
+func (in *Instance) run(rp *rulePlan, ctx *evalCtx, si int, binding []int) {
+	if si == len(rp.steps) {
+		t := make(relation.Tuple, len(rp.headSlots))
+		for i, s := range rp.headSlots {
+			t[i] = slotValue(s, binding)
+		}
+		ctx.out.Add(t)
+		return
+	}
+	st := rp.steps[si]
+	switch st.kind {
+	case stepJoin:
+		in.runJoin(rp, ctx, si, binding)
+
+	case stepExtend:
+		for v := 0; v < ctx.usize; v++ {
+			binding[st.idx] = v
+			in.run(rp, ctx, si+1, binding)
+		}
+		binding[st.idx] = -1
+
+	case stepBindEq:
+		c := rp.cmps[st.idx]
+		// Exactly one side is unbound by plan construction.
+		lv, rv := slotValue(c.left, binding), slotValue(c.right, binding)
+		var target slot
+		var val int
+		if lv < 0 {
+			target, val = c.left, rv
+		} else {
+			target, val = c.right, lv
+		}
+		binding[target.val] = val
+		in.run(rp, ctx, si+1, binding)
+		binding[target.val] = -1
+
+	case stepCmp:
+		c := rp.cmps[st.idx]
+		eq := slotValue(c.left, binding) == slotValue(c.right, binding)
+		if eq != c.neq {
+			in.run(rp, ctx, si+1, binding)
+		}
+
+	case stepNeg:
+		np := rp.negatives[st.idx]
+		t := make(relation.Tuple, len(np.slots))
+		for i, s := range np.slots {
+			t[i] = slotValue(s, binding)
+		}
+		if !ctx.negRel(st.idx).Has(t) {
+			in.run(rp, ctx, si+1, binding)
+		}
+	}
+}
+
+// runJoin iterates the candidate tuples of a positive literal,
+// extending the binding consistently for each match.
+func (in *Instance) runJoin(rp *rulePlan, ctx *evalCtx, si int, binding []int) {
+	lp := rp.positives[rp.steps[si].idx]
+	rel := ctx.posRel(rp.steps[si].idx)
+	if rel.Empty() {
+		return
+	}
+
+	// Pick an access path: the first argument position holding a
+	// constant or an already-bound variable selects a hash index.
+	col, val := -1, 0
+	for j, s := range lp.slots {
+		if v := slotValue(s, binding); v >= 0 {
+			col, val = j, v
+			break
+		}
+	}
+
+	match := func(t relation.Tuple) {
+		// Check consistency and record which variables this tuple binds.
+		var bonds []int
+		ok := true
+		for j, s := range lp.slots {
+			if s.isConst {
+				if t[j] != s.val {
+					ok = false
+					break
+				}
+				continue
+			}
+			switch b := binding[s.val]; {
+			case b < 0:
+				binding[s.val] = t[j]
+				bonds = append(bonds, s.val)
+			case b != t[j]:
+				ok = false
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			in.run(rp, ctx, si+1, binding)
+		}
+		for _, v := range bonds {
+			binding[v] = -1
+		}
+	}
+
+	if col >= 0 {
+		for _, t := range rel.Index(col)[val] {
+			match(t)
+		}
+		return
+	}
+	rel.Each(func(t relation.Tuple) bool {
+		match(t)
+		return true
+	})
+}

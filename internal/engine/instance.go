@@ -1,0 +1,329 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/relation"
+)
+
+// slot is a compiled term: either a constant (resolved to a universe
+// id) or a variable (an index into the rule's binding array).
+type slot struct {
+	isConst bool
+	val     int // universe id if isConst, else variable index
+}
+
+// litPlan is a compiled positive body literal.
+type litPlan struct {
+	pred  string
+	idb   bool
+	slots []slot
+}
+
+// negPlan is a compiled negated body literal.
+type negPlan struct {
+	pred  string
+	idb   bool
+	slots []slot
+}
+
+// cmpPlan is a compiled equality or inequality constraint.
+type cmpPlan struct {
+	neq         bool
+	left, right slot
+}
+
+// stepKind enumerates the operations of a rule's evaluation plan.
+type stepKind int
+
+const (
+	stepJoin   stepKind = iota // join the idx-th positive literal
+	stepExtend                 // enumerate the universe for variable idx
+	stepBindEq                 // bind a variable via the idx-th equality
+	stepCmp                    // check the idx-th comparison
+	stepNeg                    // check the idx-th negated literal
+)
+
+// step is one operation of a plan; idx indexes into the plan component
+// named by kind.
+type step struct {
+	kind stepKind
+	idx  int
+}
+
+// rulePlan is a rule compiled against a specific universe.
+type rulePlan struct {
+	src       ast.Rule
+	headPred  string
+	headSlots []slot
+	nvars     int
+	positives []litPlan
+	negatives []negPlan
+	cmps      []cmpPlan
+	steps     []step
+	posIDB    []int // indices into positives with IDB predicates
+}
+
+// Instance binds a validated program to a database, compiling every
+// rule into an evaluation plan.  Program constants are interned into
+// the database universe at construction (they become part of the
+// active domain, as in the paper's Theorem 4 where the domain is the
+// program's {0,1}).
+type Instance struct {
+	prog    *ast.Program
+	db      *relation.Database
+	arities map[string]int
+	idb     map[string]bool
+	plans   []*rulePlan
+	empties map[int]*relation.Relation // canonical empty relation per arity
+}
+
+// New compiles prog against db.  It returns an error if the program
+// fails validation.  The database universe is extended with the
+// program's constants.
+func New(prog *ast.Program, db *relation.Database) (*Instance, error) {
+	arities, err := prog.Validate()
+	if err != nil {
+		return nil, err
+	}
+	// EDB relations present in the database must match program arities.
+	for pred, ar := range arities {
+		if r := db.Relation(pred); r != nil && r.Arity() != ar {
+			return nil, fmt.Errorf("relation %s has arity %d in the database but %d in the program",
+				pred, r.Arity(), ar)
+		}
+	}
+	in := &Instance{
+		prog:    prog,
+		db:      db,
+		arities: arities,
+		idb:     prog.IDB(),
+		empties: make(map[int]*relation.Relation),
+	}
+	for _, r := range prog.Rules {
+		in.plans = append(in.plans, in.compile(r))
+	}
+	return in, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(prog *ast.Program, db *relation.Database) *Instance {
+	in, err := New(prog, db)
+	if err != nil {
+		panic("engine: " + err.Error())
+	}
+	return in
+}
+
+// Program returns the bound program.
+func (in *Instance) Program() *ast.Program { return in.prog }
+
+// Database returns the bound database.
+func (in *Instance) Database() *relation.Database { return in.db }
+
+// Universe returns the bound database's universe.
+func (in *Instance) Universe() *relation.Universe { return in.db.Universe() }
+
+// IDB reports whether pred is an IDB predicate of the program.
+func (in *Instance) IDB(pred string) bool { return in.idb[pred] }
+
+// Arity returns the arity of a program predicate (0 if unknown).
+func (in *Instance) Arity(pred string) int { return in.arities[pred] }
+
+// IDBPreds returns the IDB predicate names, sorted.
+func (in *Instance) IDBPreds() []string { return in.prog.IDBList() }
+
+// NewState returns a state with an empty relation for every IDB
+// predicate.
+func (in *Instance) NewState() State {
+	s := make(State)
+	for pred := range in.idb {
+		s[pred] = relation.New(in.arities[pred])
+	}
+	return s
+}
+
+// FullState returns the state assigning Aᵏ to every IDB predicate —
+// the top element of the state lattice (used by the well-founded
+// alternating fixpoint).
+func (in *Instance) FullState() State {
+	n := in.db.Universe().Size()
+	s := make(State)
+	for pred := range in.idb {
+		s[pred] = relation.Full(in.arities[pred], n)
+	}
+	return s
+}
+
+// empty returns the canonical empty relation of the given arity.
+func (in *Instance) empty(arity int) *relation.Relation {
+	if r, ok := in.empties[arity]; ok {
+		return r
+	}
+	r := relation.New(arity)
+	in.empties[arity] = r
+	return r
+}
+
+// edbRel returns the database relation for an EDB predicate, or a
+// canonical empty relation if the database does not mention it.
+func (in *Instance) edbRel(pred string) *relation.Relation {
+	if r := in.db.Relation(pred); r != nil {
+		return r
+	}
+	return in.empty(in.arities[pred])
+}
+
+// compile builds the evaluation plan for one rule.
+func (in *Instance) compile(r ast.Rule) *rulePlan {
+	vars := r.Vars()
+	varIdx := make(map[string]int, len(vars))
+	for i, v := range vars {
+		varIdx[v] = i
+	}
+	mkSlot := func(t ast.Term) slot {
+		if t.IsVar() {
+			return slot{val: varIdx[t.Name]}
+		}
+		return slot{isConst: true, val: in.db.Universe().Intern(t.Name)}
+	}
+	mkSlots := func(a ast.Atom) []slot {
+		out := make([]slot, len(a.Args))
+		for i, t := range a.Args {
+			out[i] = mkSlot(t)
+		}
+		return out
+	}
+
+	rp := &rulePlan{
+		src:      r,
+		headPred: r.Head.Pred,
+		nvars:    len(vars),
+	}
+	rp.headSlots = mkSlots(r.Head)
+	for _, l := range r.Body {
+		switch l.Kind {
+		case ast.LitPos:
+			rp.positives = append(rp.positives, litPlan{
+				pred: l.Atom.Pred, idb: in.idb[l.Atom.Pred], slots: mkSlots(l.Atom)})
+		case ast.LitNeg:
+			rp.negatives = append(rp.negatives, negPlan{
+				pred: l.Atom.Pred, idb: in.idb[l.Atom.Pred], slots: mkSlots(l.Atom)})
+		case ast.LitEq:
+			rp.cmps = append(rp.cmps, cmpPlan{left: mkSlot(l.Left), right: mkSlot(l.Right)})
+		case ast.LitNeq:
+			rp.cmps = append(rp.cmps, cmpPlan{neq: true, left: mkSlot(l.Left), right: mkSlot(l.Right)})
+		}
+	}
+	for i, lp := range rp.positives {
+		if lp.idb {
+			rp.posIDB = append(rp.posIDB, i)
+		}
+	}
+	rp.steps = in.planSteps(rp)
+	return rp
+}
+
+// planSteps orders the rule body into an executable step sequence:
+// greedy join order over positive literals (most-bound first), eager
+// comparison and negation checks as soon as their variables are bound,
+// equality propagation, then universe enumeration for whatever
+// variables remain.
+func (in *Instance) planSteps(rp *rulePlan) []step {
+	bound := make([]bool, rp.nvars)
+	usedPos := make([]bool, len(rp.positives))
+	usedCmp := make([]bool, len(rp.cmps))
+	usedNeg := make([]bool, len(rp.negatives))
+	var steps []step
+
+	slotBound := func(s slot) bool { return s.isConst || bound[s.val] }
+	allBound := func(slots []slot) bool {
+		for _, s := range slots {
+			if !slotBound(s) {
+				return false
+			}
+		}
+		return true
+	}
+	bindSlots := func(slots []slot) {
+		for _, s := range slots {
+			if !s.isConst {
+				bound[s.val] = true
+			}
+		}
+	}
+	// addChecks appends every comparison/negation check whose variables
+	// have just become bound.  Comparisons first: they are cheaper.
+	addChecks := func() {
+		for i, c := range rp.cmps {
+			if !usedCmp[i] && slotBound(c.left) && slotBound(c.right) {
+				usedCmp[i] = true
+				steps = append(steps, step{stepCmp, i})
+			}
+		}
+		for i, n := range rp.negatives {
+			if !usedNeg[i] && allBound(n.slots) {
+				usedNeg[i] = true
+				steps = append(steps, step{stepNeg, i})
+			}
+		}
+	}
+	addChecks()
+
+	// Join phase: repeatedly pick the positive literal with the most
+	// bound argument positions (ties to program order).
+	for remaining := len(rp.positives); remaining > 0; remaining-- {
+		best, bestScore := -1, -1
+		for i, lp := range rp.positives {
+			if usedPos[i] {
+				continue
+			}
+			score := 0
+			for _, s := range lp.slots {
+				if slotBound(s) {
+					score++
+				}
+			}
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		usedPos[best] = true
+		steps = append(steps, step{stepJoin, best})
+		bindSlots(rp.positives[best].slots)
+		addChecks()
+	}
+
+	// Extension phase: bind leftover variables, preferring equality
+	// propagation over universe enumeration.
+	for v := 0; v < rp.nvars; v++ {
+		if bound[v] {
+			continue
+		}
+		eq := -1
+		for i, c := range rp.cmps {
+			if c.neq || usedCmp[i] {
+				continue
+			}
+			l, r := c.left, c.right
+			if !l.isConst && l.val == v && slotBound(r) {
+				eq = i
+				break
+			}
+			if !r.isConst && r.val == v && slotBound(l) {
+				eq = i
+				break
+			}
+		}
+		if eq >= 0 {
+			usedCmp[eq] = true
+			steps = append(steps, step{stepBindEq, eq})
+		} else {
+			steps = append(steps, step{stepExtend, v})
+		}
+		bound[v] = true
+		addChecks()
+	}
+	return steps
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("registered %d experiments, want 12", len(all))
+	}
+	for i, e := range all {
+		want := i + 1
+		if idOrder(e.ID) != want {
+			t.Errorf("position %d has %s", i, e.ID)
+		}
+		if e.Title == "" || e.Source == "" || e.Run == nil {
+			t.Errorf("%s incomplete", e.ID)
+		}
+	}
+	if _, ok := Find("E1"); !ok {
+		t.Error("Find(E1) failed")
+	}
+	if _, ok := Find("E99"); ok {
+		t.Error("Find(E99) succeeded")
+	}
+}
+
+// TestAllExperimentsPass runs every experiment in quick mode: each
+// experiment verifies its paper claims internally and errors on any
+// mismatch, so this is the end-to-end reproduction check.
+func TestAllExperimentsPass(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := RunOne(&buf, e, true); err != nil {
+				t.Fatalf("%v\noutput:\n%s", err, buf.String())
+			}
+			if strings.Contains(buf.String(), "MISMATCH") {
+				t.Fatalf("mismatch in output:\n%s", buf.String())
+			}
+		})
+	}
+}

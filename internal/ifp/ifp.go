@@ -1,0 +1,229 @@
+// Package ifp implements the logic side of Proposition 1: the
+// existential fragment of FO+IFP (first-order logic with the
+// inflationary/inductive fixpoint operator of Gurevich–Shelah), and
+// the two translations the proposition's proof sketches:
+//
+//   - an operator F on k-ary relations defined by an existential
+//     first-order formula φ(x̄, S) compiles to a DATALOG¬ program whose
+//     inflationary semantics computes F's inductive fixpoint
+//     (bring φ to DNF, one rule per disjunct);
+//   - conversely, a DATALOG¬ program with a single IDB relation defines
+//     an existential first-order operator (the Section 2 analysis that
+//     Θ is existential-first-order definable).
+//
+// The inductive fixpoint itself is also computed directly, by iterated
+// model checking — the independent oracle experiment E12 compares the
+// two routes against.
+package ifp
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// Operator is a first-order-definable operator on k-ary relations:
+// F(S) = {ā ∈ Aᵏ : (D, S) ⊨ φ(ā)}, where φ mentions the database
+// vocabulary and the relation variable Pred.
+type Operator struct {
+	// Pred is the relation variable's name (must not collide with a
+	// database relation).
+	Pred string
+	// Arity is k.
+	Arity int
+	// FreeVars are the free variables x̄ of φ, in output order (length
+	// must equal Arity).
+	FreeVars []string
+	// Phi is the defining formula.
+	Phi logic.Formula
+}
+
+// Validate checks structural consistency.
+func (op *Operator) Validate() error {
+	if len(op.FreeVars) != op.Arity {
+		return fmt.Errorf("ifp: %d free variables for arity %d", len(op.FreeVars), op.Arity)
+	}
+	free := logic.FreeVars(op.Phi)
+	declared := make(map[string]bool, len(op.FreeVars))
+	for _, v := range op.FreeVars {
+		declared[v] = true
+	}
+	for _, v := range free {
+		if !declared[v] {
+			return fmt.Errorf("ifp: formula has undeclared free variable %s", v)
+		}
+	}
+	return nil
+}
+
+// Apply computes F(S) on db, with cur installed as the value of Pred.
+func (op *Operator) Apply(db *relation.Database, cur *relation.Relation) (*relation.Relation, error) {
+	if err := op.Validate(); err != nil {
+		return nil, err
+	}
+	work := db.Clone()
+	if work.Relation(op.Pred) != nil {
+		return nil, fmt.Errorf("ifp: relation variable %s collides with a database relation", op.Pred)
+	}
+	work.Set(op.Pred, cur.Clone())
+	out := relation.New(op.Arity)
+	env := make(map[string]int, op.Arity)
+	n := work.Universe().Size()
+
+	tuple := make(relation.Tuple, op.Arity)
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == op.Arity {
+			if logic.Eval(work, op.Phi, env) {
+				out.Add(tuple)
+			}
+			return
+		}
+		for v := 0; v < n; v++ {
+			tuple[pos] = v
+			env[op.FreeVars[pos]] = v
+			rec(pos + 1)
+		}
+		delete(env, op.FreeVars[pos])
+	}
+	rec(0)
+	return out, nil
+}
+
+// InductiveFixpoint iterates S ↦ S ∪ F(S) from ∅ to stability,
+// returning the inductive fixpoint and the number of stages (including
+// the final no-growth check).
+func (op *Operator) InductiveFixpoint(db *relation.Database) (*relation.Relation, int, error) {
+	cur := relation.New(op.Arity)
+	rounds := 0
+	for {
+		next, err := op.Apply(db, cur)
+		if err != nil {
+			return nil, 0, err
+		}
+		rounds++
+		if next.UnionWith(cur) >= 0 && next.Equal(cur) {
+			return cur, rounds, nil
+		}
+		cur = next
+	}
+}
+
+// Program compiles the operator into a DATALOG¬ program per the
+// Proposition 1 proof: φ is brought to NNF and prenex form; every
+// quantifier must be existential (the existential fragment); the
+// matrix's DNF yields one rule Pred(x̄) ← θᵢ per disjunct.  Evaluating
+// the program under *inflationary* semantics computes the operator's
+// inductive fixpoint.
+func (op *Operator) Program() (*ast.Program, error) {
+	if err := op.Validate(); err != nil {
+		return nil, err
+	}
+	blocks, matrix := logic.Prenex(logic.NNF(op.Phi))
+	for _, b := range blocks {
+		if b.Forall {
+			return nil, fmt.Errorf("ifp: formula is not in the existential fragment (universal quantifier over %v)", b.Vars)
+		}
+	}
+	disjuncts, err := logic.DNF(matrix)
+	if err != nil {
+		return nil, err
+	}
+	headArgs := make([]ast.Term, op.Arity)
+	for i, v := range op.FreeVars {
+		headArgs[i] = ast.Var(v)
+	}
+	head := ast.Atom{Pred: op.Pred, Args: headArgs}
+
+	prog := &ast.Program{Carrier: op.Pred}
+	for _, conj := range disjuncts {
+		body := make([]ast.Literal, 0, len(conj))
+		for _, l := range conj {
+			body = append(body, l.ToASTLiteral())
+		}
+		prog.Rules = append(prog.Rules, ast.NewRule(head, body...))
+	}
+	if len(prog.Rules) == 0 {
+		return nil, fmt.Errorf("ifp: formula has empty DNF")
+	}
+	if _, err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("ifp: generated program invalid: %w", err)
+	}
+	return prog, nil
+}
+
+// FromProgram extracts the existential first-order operator of a
+// DATALOG¬ program with a single IDB relation — the Section 2
+// observation that Θ is definable by an existential formula:
+//
+//	φ(x̄) = ∨_rules ∃ȳ (x₁ = t₁ ∧ … ∧ x_k = t_k ∧ body)
+//
+// where t̄ is the rule's head tuple and ȳ its non-head variables.
+func FromProgram(prog *ast.Program) (*Operator, error) {
+	arities, err := prog.Validate()
+	if err != nil {
+		return nil, err
+	}
+	idb := prog.IDBList()
+	if len(idb) != 1 {
+		return nil, fmt.Errorf("ifp: program has %d IDB relations, want 1", len(idb))
+	}
+	pred := idb[0]
+	arity := arities[pred]
+
+	// Fresh output variables, avoiding every rule variable.
+	used := make(map[string]bool)
+	for _, r := range prog.Rules {
+		for _, v := range r.Vars() {
+			used[v] = true
+		}
+	}
+	freeVars := make([]string, arity)
+	for i := range freeVars {
+		for c := 0; ; c++ {
+			name := fmt.Sprintf("O%d_%d", i, c)
+			if !used[name] {
+				freeVars[i] = name
+				used[name] = true
+				break
+			}
+		}
+	}
+
+	var disj []logic.Formula
+	for _, r := range prog.Rules {
+		var conj []logic.Formula
+		for i, t := range r.Head.Args {
+			conj = append(conj, logic.Eq{Left: ast.Var(freeVars[i]), Right: t})
+		}
+		for _, l := range r.Body {
+			switch l.Kind {
+			case ast.LitPos:
+				conj = append(conj, logic.Atom{Pred: l.Atom.Pred, Args: l.Atom.Args})
+			case ast.LitNeg:
+				conj = append(conj, logic.Not{F: logic.Atom{Pred: l.Atom.Pred, Args: l.Atom.Args}})
+			case ast.LitEq:
+				conj = append(conj, logic.Eq{Left: l.Left, Right: l.Right})
+			case ast.LitNeq:
+				conj = append(conj, logic.Not{F: logic.Eq{Left: l.Left, Right: l.Right}})
+			}
+		}
+		var f logic.Formula = logic.And{Fs: conj}
+		if vars := r.Vars(); len(vars) > 0 {
+			f = logic.Exists{Vars: vars, F: f}
+		}
+		disj = append(disj, f)
+	}
+	op := &Operator{
+		Pred:     pred,
+		Arity:    arity,
+		FreeVars: freeVars,
+		Phi:      logic.Or{Fs: disj},
+	}
+	if err := op.Validate(); err != nil {
+		return nil, err
+	}
+	return op, nil
+}

@@ -1,0 +1,261 @@
+package ifp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+	"repro/internal/engine"
+	"repro/internal/graphs"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/semantics"
+)
+
+// tcOperator is the TC operator: φ(x,y) = E(x,y) ∨ ∃z (E(x,z) ∧ S(z,y)).
+func tcOperator() *Operator {
+	return &Operator{
+		Pred:     "s",
+		Arity:    2,
+		FreeVars: []string{"X", "Y"},
+		Phi: logic.Or{Fs: []logic.Formula{
+			logic.A("E", "X", "Y"),
+			logic.Exists{Vars: []string{"Z"}, F: logic.And{Fs: []logic.Formula{
+				logic.A("E", "X", "Z"), logic.A("s", "Z", "Y"),
+			}}},
+		}},
+	}
+}
+
+// pi1Operator is π₁'s operator: φ(x) = ∃y (E(y,x) ∧ ¬S(y)).
+func pi1Operator() *Operator {
+	return &Operator{
+		Pred:     "t",
+		Arity:    1,
+		FreeVars: []string{"X"},
+		Phi: logic.Exists{Vars: []string{"Y"}, F: logic.And{Fs: []logic.Formula{
+			logic.A("E", "Y", "X"), logic.Not{F: logic.A("t", "Y")},
+		}}},
+	}
+}
+
+func TestInductiveFixpointTC(t *testing.T) {
+	g := graphs.Path(5)
+	fp, rounds, err := tcOperator().InductiveFixpoint(g.Database())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Len() != 10 { // 4+3+2+1 pairs on L5
+		t.Errorf("|TC| = %d, want 10", fp.Len())
+	}
+	if rounds < 4 {
+		t.Errorf("rounds = %d", rounds)
+	}
+}
+
+func TestInductiveFixpointPi1(t *testing.T) {
+	// Θ^∞ of π₁ = edge targets, reached after one productive stage.
+	g := graphs.Cycle(5)
+	fp, _, err := pi1Operator().InductiveFixpoint(g.Database())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Len() != 5 {
+		t.Errorf("|T| = %d, want 5", fp.Len())
+	}
+}
+
+func TestProposition1OperatorToProgram(t *testing.T) {
+	// The compiled program under inflationary semantics equals the
+	// directly computed inductive fixpoint.
+	for name, op := range map[string]*Operator{"tc": tcOperator(), "pi1": pi1Operator()} {
+		prog, err := op.Program()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for seed := int64(0); seed < 5; seed++ {
+			g := graphs.Random(rand.New(rand.NewSource(seed)), 5, 0.3)
+			db := g.Database()
+			want, _, err := op.InductiveFixpoint(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := engine.MustNew(prog, db.Clone())
+			got := semantics.Inflationary(in)
+			if !got.State[op.Pred].Equal(want) {
+				t.Errorf("%s seed %d: program %v, oracle %v", name, seed,
+					got.State[op.Pred].Format(db.Universe()), want.Format(db.Universe()))
+			}
+		}
+	}
+}
+
+func TestProposition1ProgramToOperator(t *testing.T) {
+	// The converse direction: a single-IDB program's operator, computed
+	// by model checking, matches the program's inflationary semantics.
+	progs := []string{
+		"s(X,Y) :- E(X,Y).\ns(X,Y) :- E(X,Z), s(Z,Y).",
+		"t(X) :- E(Y,X), !t(Y).",
+		"t(X) :- E(X,Y), E(Y,X), X != Y.",
+		"t(a) :- E(X,Y).", // constant head
+	}
+	for _, src := range progs {
+		prog := parser.MustProgram(src)
+		op, err := FromProgram(prog)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		for seed := int64(0); seed < 4; seed++ {
+			g := graphs.Random(rand.New(rand.NewSource(seed+50)), 4, 0.35)
+			db := g.Database()
+			db.AddConstant("a")
+			want, _, err := op.InductiveFixpoint(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := engine.MustNew(prog, db.Clone())
+			got := semantics.Inflationary(in)
+			if !got.State[op.Pred].Equal(want) {
+				t.Errorf("%q seed %d: operator disagrees with program", src, seed)
+			}
+		}
+	}
+}
+
+func TestProgramRejectsUniversal(t *testing.T) {
+	op := &Operator{
+		Pred: "p", Arity: 1, FreeVars: []string{"X"},
+		Phi: logic.Forall{Vars: []string{"Y"}, F: logic.A("E", "X", "Y")},
+	}
+	if _, err := op.Program(); err == nil {
+		t.Error("universal quantifier accepted in the existential fragment")
+	}
+}
+
+func TestFromProgramRejectsMultiIDB(t *testing.T) {
+	prog := parser.MustProgram("a(X) :- E(X,Y). b(X) :- E(Y,X).")
+	if _, err := FromProgram(prog); err == nil {
+		t.Error("multi-IDB program accepted")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := &Operator{Pred: "p", Arity: 2, FreeVars: []string{"X"}, Phi: logic.A("E", "X", "Y")}
+	if err := bad.Validate(); err == nil {
+		t.Error("arity/vars mismatch accepted")
+	}
+	undeclared := &Operator{Pred: "p", Arity: 1, FreeVars: []string{"X"}, Phi: logic.A("E", "X", "Y")}
+	if err := undeclared.Validate(); err == nil {
+		t.Error("undeclared free variable accepted")
+	}
+}
+
+func TestApplyCollision(t *testing.T) {
+	op := &Operator{Pred: "E", Arity: 1, FreeVars: []string{"X"},
+		Phi: logic.A("E", "X", "X")}
+	db := graphs.Path(2).Database()
+	if _, err := op.Apply(db, relation.New(1)); err == nil {
+		t.Error("collision with database relation accepted")
+	}
+}
+
+// randomExistentialOperator draws a small random operator in the
+// existential fragment over E/2, V/1 with a unary relation variable.
+func randomExistentialOperator(rng *rand.Rand) *Operator {
+	lit := func(scope []string) logic.Formula {
+		v := func() string { return scope[rng.Intn(len(scope))] }
+		var f logic.Formula
+		switch rng.Intn(4) {
+		case 0:
+			f = logic.A("V", v())
+		case 1:
+			f = logic.A("E", v(), v())
+		case 2:
+			f = logic.A("sv", v())
+		default:
+			f = logic.Eq{Left: ast.Var(v()), Right: ast.Var(v())}
+		}
+		if rng.Intn(2) == 0 {
+			f = logic.Not{F: f}
+		}
+		return f
+	}
+	scope := []string{"X", "Y1"}
+	inner := logic.And{Fs: []logic.Formula{lit(scope), lit(scope)}}
+	var body logic.Formula = logic.Exists{Vars: []string{"Y1"}, F: inner}
+	if rng.Intn(2) == 0 {
+		body = logic.Or{Fs: []logic.Formula{body,
+			logic.Exists{Vars: []string{"Y2"}, F: lit([]string{"X", "Y2"})}}}
+	}
+	return &Operator{Pred: "sv", Arity: 1, FreeVars: []string{"X"}, Phi: body}
+}
+
+func TestPropProposition1RoundTrip(t *testing.T) {
+	// For random existential operators: direct inductive fixpoint =
+	// inflationary semantics of the compiled program = inductive
+	// fixpoint of the operator re-extracted from that program.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		op := randomExistentialOperator(rng)
+		prog, err := op.Program()
+		if err != nil {
+			t.Logf("seed %d: compile: %v", seed, err)
+			return false
+		}
+		back, err := FromProgram(prog)
+		if err != nil {
+			t.Logf("seed %d: extract: %v", seed, err)
+			return false
+		}
+		g := graphs.Random(rng, 4, 0.3)
+		db := g.Database()
+		for i := 0; i < 2; i++ {
+			if rng.Intn(2) == 0 {
+				db.AddFact("V", graphs.VertexName(rng.Intn(4)))
+			}
+		}
+		db.MustEnsure("V", 1)
+
+		direct, _, err := op.InductiveFixpoint(db)
+		if err != nil {
+			t.Logf("seed %d: direct: %v", seed, err)
+			return false
+		}
+		in := engine.MustNew(prog, db.Clone())
+		viaProgram := semantics.Inflationary(in).State[op.Pred]
+		reExtracted, _, err := back.InductiveFixpoint(db)
+		if err != nil {
+			t.Logf("seed %d: re-extract: %v", seed, err)
+			return false
+		}
+		if !direct.Equal(viaProgram) || !direct.Equal(reExtracted) {
+			t.Logf("seed %d: mismatch\nphi: %s\nprogram:\n%s\ndirect: %v\nprogram result: %v",
+				seed, logic.Format(op.Phi), prog, direct.Tuples(), viaProgram.Tuples())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStagesMatchProgramRounds(t *testing.T) {
+	// The operator iteration and the engine's inflationary evaluation
+	// take the same number of stages on TC.
+	for n := 3; n <= 6; n++ {
+		db := graphs.Path(n).Database()
+		_, rounds, err := tcOperator().InductiveFixpoint(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, _ := tcOperator().Program()
+		in := engine.MustNew(prog, db.Clone())
+		res := semantics.Inflationary(in)
+		if rounds != res.Stats.Rounds {
+			t.Errorf("L%d: operator %d stages, engine %d", n, rounds, res.Stats.Rounds)
+		}
+	}
+}

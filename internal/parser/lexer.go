@@ -1,0 +1,251 @@
+// Package parser implements the concrete syntax for DATALOG¬ programs
+// and fact files.
+//
+// Programs are written in a Prolog-like notation:
+//
+//	% transitive closure (paper's π₃)
+//	S(X,Y) :- E(X,Y).
+//	S(X,Y) :- E(X,Z), S(Z,Y).
+//
+//	% the paper's π₁, with negation
+//	T(X) :- E(Y,X), !T(Y).
+//
+// Identifiers beginning with an upper-case letter or underscore are
+// variables; everything else (lower-case identifiers, numbers, quoted
+// strings) is a constant.  Negation is written "!" or "not", rule
+// arrows ":-" or "<-", equality "=" and inequality "!=".  Comments run
+// from '%' or "//" to end of line.  A clause without a body, written
+// "E(a,b).", is a fact when ground; with variables it is a rule whose
+// head variables range over the whole universe (the paper's
+// active-domain convention, used by the IN-gate rules of Theorem 4).
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token types.
+type tokenKind int
+
+const (
+	tokEOF    tokenKind = iota
+	tokIdent            // identifier (variable or constant)
+	tokString           // quoted constant
+	tokNumber           // numeric constant
+	tokLParen           // (
+	tokRParen           // )
+	tokComma            // ,
+	tokDot              // .
+	tokArrow            // :- or <-
+	tokBang             // !
+	tokNot              // the keyword "not"
+	tokEq               // =
+	tokNeq              // !=
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokArrow:
+		return "':-'"
+	case tokBang:
+		return "'!'"
+	case tokNot:
+		return "'not'"
+	case tokEq:
+		return "'='"
+	case tokNeq:
+		return "'!='"
+	}
+	return "unknown token"
+}
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// lexer scans DATALOG¬ source text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// Error is a positioned syntax error.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '%':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentCont(c byte) bool {
+	return c == '_' || c == '\'' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	tok := token{line: l.line, col: l.col}
+	if l.pos >= len(l.src) {
+		tok.kind = tokEOF
+		return tok, nil
+	}
+	c := l.peek()
+	switch {
+	case c == '(':
+		l.advance()
+		tok.kind, tok.text = tokLParen, "("
+	case c == ')':
+		l.advance()
+		tok.kind, tok.text = tokRParen, ")"
+	case c == ',':
+		l.advance()
+		tok.kind, tok.text = tokComma, ","
+	case c == '.':
+		l.advance()
+		tok.kind, tok.text = tokDot, "."
+	case c == '=':
+		l.advance()
+		tok.kind, tok.text = tokEq, "="
+	case c == '!':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			tok.kind, tok.text = tokNeq, "!="
+		} else {
+			tok.kind, tok.text = tokBang, "!"
+		}
+	case c == ':' && l.peek2() == '-':
+		l.advance()
+		l.advance()
+		tok.kind, tok.text = tokArrow, ":-"
+	case c == '<' && l.peek2() == '-':
+		l.advance()
+		l.advance()
+		tok.kind, tok.text = tokArrow, "<-"
+	case c == '"':
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return tok, l.errorf("unterminated string")
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				if l.pos >= len(l.src) {
+					return tok, l.errorf("unterminated escape")
+				}
+				ch = l.advance()
+			}
+			b.WriteByte(ch)
+		}
+		tok.kind, tok.text = tokString, b.String()
+	case c >= '0' && c <= '9':
+		start := l.pos
+		for l.pos < len(l.src) && (l.peek() >= '0' && l.peek() <= '9') {
+			l.advance()
+		}
+		tok.kind, tok.text = tokNumber, l.src[start:l.pos]
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		if text == "not" {
+			tok.kind, tok.text = tokNot, text
+		} else {
+			tok.kind, tok.text = tokIdent, text
+		}
+	default:
+		return tok, l.errorf("unexpected character %q", string(rune(c)))
+	}
+	return tok, nil
+}

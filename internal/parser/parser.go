@@ -1,0 +1,361 @@
+package parser
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/relation"
+)
+
+// parser is a one-token-lookahead recursive-descent parser.
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func newParser(src string) (*parser, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *parser) advance() error {
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = tok
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &Error{Line: p.tok.line, Col: p.tok.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if p.tok.kind != k {
+		return token{}, p.errorf("expected %v, found %v %q", k, p.tok.kind, p.tok.text)
+	}
+	tok := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return tok, nil
+}
+
+// isVariableName reports whether an identifier denotes a variable under
+// the Prolog-style convention: upper-case or underscore initial.
+func isVariableName(name string) bool {
+	if name == "" {
+		return false
+	}
+	c := name[0]
+	return c >= 'A' && c <= 'Z' || c == '_'
+}
+
+// term parses a single term: identifier, number, or quoted string.
+func (p *parser) term() (ast.Term, error) {
+	switch p.tok.kind {
+	case tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return ast.Term{}, err
+		}
+		if isVariableName(name) {
+			return ast.Var(name), nil
+		}
+		return ast.Const(name), nil
+	case tokNumber, tokString:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return ast.Term{}, err
+		}
+		return ast.Const(name), nil
+	default:
+		return ast.Term{}, p.errorf("expected term, found %v %q", p.tok.kind, p.tok.text)
+	}
+}
+
+// atom parses Pred or Pred(t1,…,tn).
+func (p *parser) atom() (ast.Atom, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	a := ast.Atom{Pred: name.text}
+	if p.tok.kind != tokLParen {
+		if isVariableName(name.text) {
+			// A bare upper-case identifier cannot be a zero-arity atom:
+			// it would be indistinguishable from a variable when
+			// re-parsed.  Demand lower-case for zero-arity predicates.
+			return ast.Atom{}, &Error{Line: name.line, Col: name.col,
+				Msg: fmt.Sprintf("zero-arity predicate %q must start with a lower-case letter", name.text)}
+		}
+		return a, nil
+	}
+	if err := p.advance(); err != nil {
+		return ast.Atom{}, err
+	}
+	for {
+		t, err := p.term()
+		if err != nil {
+			return ast.Atom{}, err
+		}
+		a.Args = append(a.Args, t)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return ast.Atom{}, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return ast.Atom{}, err
+	}
+	return a, nil
+}
+
+// literal parses one body literal: atom, !atom, "not" atom, t = t, or
+// t != t.
+func (p *parser) literal() (ast.Literal, error) {
+	switch p.tok.kind {
+	case tokBang, tokNot:
+		if err := p.advance(); err != nil {
+			return ast.Literal{}, err
+		}
+		a, err := p.atom()
+		if err != nil {
+			return ast.Literal{}, err
+		}
+		return ast.Neg(a), nil
+	case tokIdent:
+		// An identifier may open an atom (when followed by '('), be a
+		// zero-arity atom (lower-case, not followed by =/!=), or be the
+		// left side of an =/!= constraint.
+		name := p.tok
+		if err := p.advance(); err != nil {
+			return ast.Literal{}, err
+		}
+		switch p.tok.kind {
+		case tokLParen:
+			a := ast.Atom{Pred: name.text}
+			if err := p.advance(); err != nil {
+				return ast.Literal{}, err
+			}
+			for {
+				t, err := p.term()
+				if err != nil {
+					return ast.Literal{}, err
+				}
+				a.Args = append(a.Args, t)
+				if p.tok.kind == tokComma {
+					if err := p.advance(); err != nil {
+						return ast.Literal{}, err
+					}
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return ast.Literal{}, err
+			}
+			return ast.Pos(a), nil
+		case tokEq, tokNeq:
+			if isVariableName(name.text) {
+				return p.eqTail(ast.Var(name.text))
+			}
+			return p.eqTail(ast.Const(name.text))
+		default:
+			if isVariableName(name.text) {
+				return ast.Literal{}, &Error{Line: name.line, Col: name.col,
+					Msg: fmt.Sprintf("bare variable %q is not a literal", name.text)}
+			}
+			return ast.Pos(ast.Atom{Pred: name.text}), nil
+		}
+	case tokNumber, tokString:
+		left, err := p.term()
+		if err != nil {
+			return ast.Literal{}, err
+		}
+		return p.eqTail(left)
+	default:
+		return ast.Literal{}, p.errorf("expected literal, found %v %q", p.tok.kind, p.tok.text)
+	}
+}
+
+func (p *parser) eqTail(left ast.Term) (ast.Literal, error) {
+	neq := false
+	switch p.tok.kind {
+	case tokEq:
+	case tokNeq:
+		neq = true
+	default:
+		return ast.Literal{}, p.errorf("expected '=' or '!=', found %v %q", p.tok.kind, p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return ast.Literal{}, err
+	}
+	right, err := p.term()
+	if err != nil {
+		return ast.Literal{}, err
+	}
+	if neq {
+		return ast.Neq(left, right), nil
+	}
+	return ast.Eq(left, right), nil
+}
+
+// rule parses one clause: head [:- body] .
+func (p *parser) rule() (ast.Rule, error) {
+	head, err := p.atom()
+	if err != nil {
+		return ast.Rule{}, err
+	}
+	r := ast.Rule{Head: head}
+	if p.tok.kind == tokArrow {
+		if err := p.advance(); err != nil {
+			return ast.Rule{}, err
+		}
+		for {
+			l, err := p.literal()
+			if err != nil {
+				return ast.Rule{}, err
+			}
+			r.Body = append(r.Body, l)
+			if p.tok.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return ast.Rule{}, err
+				}
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return ast.Rule{}, err
+	}
+	return r, nil
+}
+
+// Program parses DATALOG¬ source text into a validated program.
+func Program(src string) (*ast.Program, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	prog := &ast.Program{}
+	for p.tok.kind != tokEOF {
+		r, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	if _, err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustProgram is Program but panics on error; for tests and canned
+// programs whose syntax is fixed at compile time.
+func MustProgram(src string) *ast.Program {
+	p, err := Program(src)
+	if err != nil {
+		panic("parser: " + err.Error())
+	}
+	return p
+}
+
+// ProgramFile reads and parses a program from a file.
+func ProgramFile(path string) (*ast.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := Program(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s:%w", path, err)
+	}
+	return prog, nil
+}
+
+// Facts parses a fact file — ground clauses like "E(a,b)." — into a
+// database.  Rules with bodies or non-ground heads are rejected.
+func Facts(src string) (*relation.Database, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	db := relation.NewDatabase()
+	for p.tok.kind != tokEOF {
+		line, col := p.tok.line, p.tok.col
+		r, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		if len(r.Body) != 0 {
+			return nil, &Error{Line: line, Col: col, Msg: "fact files must not contain rules"}
+		}
+		consts := make([]string, len(r.Head.Args))
+		for i, t := range r.Head.Args {
+			if t.IsVar() {
+				return nil, &Error{Line: line, Col: col,
+					Msg: fmt.Sprintf("fact %s has variable argument %s", r.Head.Pred, t.Name)}
+			}
+			consts[i] = t.Name
+		}
+		if err := db.AddFact(r.Head.Pred, consts...); err != nil {
+			return nil, &Error{Line: line, Col: col, Msg: err.Error()}
+		}
+	}
+	return db, nil
+}
+
+// MustFacts is Facts but panics on error.
+func MustFacts(src string) *relation.Database {
+	db, err := Facts(src)
+	if err != nil {
+		panic("parser: " + err.Error())
+	}
+	return db
+}
+
+// FactsFile reads and parses a fact file into a database.
+func FactsFile(path string) (*relation.Database, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	db, err := Facts(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s:%w", path, err)
+	}
+	return db, nil
+}
+
+// FormatDatabase renders db as a fact file that Facts can re-read.
+func FormatDatabase(db *relation.Database) string {
+	var b strings.Builder
+	u := db.Universe()
+	for _, name := range db.SortedNames() {
+		rel := db.Relation(name)
+		for _, t := range rel.Tuples() {
+			args := make([]string, len(t))
+			for i, v := range t {
+				args[i] = ast.Const(u.Name(v)).String()
+			}
+			if len(args) == 0 {
+				fmt.Fprintf(&b, "%s.\n", name)
+			} else {
+				fmt.Fprintf(&b, "%s(%s).\n", name, strings.Join(args, ","))
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,287 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+)
+
+func TestParsePi1(t *testing.T) {
+	p, err := Program("T(X) :- E(Y,X), !T(Y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 1 {
+		t.Fatalf("rules = %d", len(p.Rules))
+	}
+	r := p.Rules[0]
+	if r.Head.Pred != "T" || len(r.Head.Args) != 1 || !r.Head.Args[0].IsVar() {
+		t.Errorf("head = %v", r.Head)
+	}
+	if len(r.Body) != 2 {
+		t.Fatalf("body = %v", r.Body)
+	}
+	if r.Body[0].Kind != ast.LitPos || r.Body[0].Atom.Pred != "E" {
+		t.Errorf("body[0] = %v", r.Body[0])
+	}
+	if r.Body[1].Kind != ast.LitNeg || r.Body[1].Atom.Pred != "T" {
+		t.Errorf("body[1] = %v", r.Body[1])
+	}
+}
+
+func TestParseNotKeywordAndArrow(t *testing.T) {
+	a, err := Program("T(X) :- E(Y,X), !T(Y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Program("T(X) <- E(Y,X), not T(Y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("alternate syntax differs:\n%q\n%q", a.String(), b.String())
+	}
+}
+
+func TestParseEqNeq(t *testing.T) {
+	p, err := Program("S(X,Y) :- E(X,Y), X != Y, X = X.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := p.Rules[0].Body
+	if b[1].Kind != ast.LitNeq || b[2].Kind != ast.LitEq {
+		t.Errorf("body = %v", b)
+	}
+}
+
+func TestParseConstantsInRules(t *testing.T) {
+	// The IN-gate rule of Theorem 4 has a constant in the head.
+	p, err := Program(`g3(Z1, 1, Z3) :- d(Z1), d(Z3).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := p.Rules[0].Head.Args
+	if args[1].IsVar() || args[1].Name != "1" {
+		t.Errorf("head args = %v", args)
+	}
+	if !args[0].IsVar() {
+		t.Errorf("Z1 parsed as constant")
+	}
+}
+
+func TestParseQuotedConstant(t *testing.T) {
+	p, err := Program(`t(X) :- e("Upper Case", X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Rules[0].Body[0].Atom.Args[0].Name; got != "Upper Case" {
+		t.Errorf("quoted constant = %q", got)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+% a comment
+t(X) :- e(X). // another
+t(X) :- f(X).
+`
+	p, err := Program(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 2 {
+		t.Errorf("rules = %d", len(p.Rules))
+	}
+}
+
+func TestParseZeroArity(t *testing.T) {
+	p, err := Program("halt :- e(X), stuck.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rules[0].Head.Pred != "halt" || p.Rules[0].Head.Arity() != 0 {
+		t.Errorf("head = %v", p.Rules[0].Head)
+	}
+	if p.Rules[0].Body[1].Atom.Pred != "stuck" || p.Rules[0].Body[1].Atom.Arity() != 0 {
+		t.Errorf("body = %v", p.Rules[0].Body)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                              // no rules
+		"T(X)",                          // missing dot
+		"t(X) :- .",                     // missing literal
+		"t(X) :- e(X),.",                // trailing comma
+		"t(X) :- e(X,).",                // bad term
+		"t(X) :- X.",                    // bare variable literal
+		"Flag :- e(X).",                 // bare upper-case zero-arity head
+		"t(X) :- !X = Y.",               // negated equality is not an atom
+		"t(X) :- e(X). t(X,Y) :- e(X).", // arity conflict
+		`t(X) :- e("unterminated.`,      // bad string
+		"t(X) :- e(X) & f(X).",          // stray character
+	}
+	for _, src := range cases {
+		if _, err := Program(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestErrorPosition(t *testing.T) {
+	_, err := Program("t(X) :- e(X).\nt(Y) :- ???.\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if perr.Line != 2 {
+		t.Errorf("error line = %d, want 2", perr.Line)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	srcs := []string{
+		"T(X) :- E(Y,X), !T(Y).",
+		"S2(X,Y,Z,W) :- S1(X,Y), !S1(Z,W).",
+		"q(X) :- !s(X), n(X,Y), !s(Y).",
+		"t(Z) :- !q(U), !t(W).",
+		"g(Z1,1,Z3) :- d(Z1), d(Z3).",
+		"p(X) :- e(X,Y), X != Y, Y = Z.",
+	}
+	for _, src := range srcs {
+		p1, err := Program(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		p2, err := Program(p1.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v\nprinted: %q", src, err, p1.String())
+		}
+		if p1.String() != p2.String() {
+			t.Errorf("round trip differs:\n%q\n%q", p1.String(), p2.String())
+		}
+	}
+}
+
+func TestFacts(t *testing.T) {
+	db, err := Facts(`
+e(a,b). e(b,c).
+v(a).
+marker.
+num(1,2).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Relation("e").Len() != 2 {
+		t.Errorf("e len = %d", db.Relation("e").Len())
+	}
+	if db.Relation("v").Len() != 1 {
+		t.Errorf("v len = %d", db.Relation("v").Len())
+	}
+	if db.Relation("marker").Len() != 1 {
+		t.Errorf("marker len = %d", db.Relation("marker").Len())
+	}
+	if db.Relation("num").Len() != 1 {
+		t.Errorf("num len = %d", db.Relation("num").Len())
+	}
+}
+
+func TestFactsRejectRulesAndVars(t *testing.T) {
+	if _, err := Facts("t(X) :- e(X)."); err == nil {
+		t.Error("rule accepted in fact file")
+	}
+	if _, err := Facts("e(X)."); err == nil {
+		t.Error("non-ground fact accepted")
+	}
+	if _, err := Facts("e(a). e(a,b)."); err == nil {
+		t.Error("arity conflict accepted")
+	}
+}
+
+func TestFormatDatabaseRoundTrip(t *testing.T) {
+	db := MustFacts("e(a,b). e(b,c). v(a). flag.")
+	text := FormatDatabase(db)
+	db2, err := Facts(text)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\ntext: %q", err, text)
+	}
+	for _, name := range []string{"e", "v", "flag"} {
+		if !db.Relation(name).Equal(db2.Relation(name)) {
+			t.Errorf("relation %s differs after round trip", name)
+		}
+	}
+}
+
+// randomProgram builds a random syntactically valid program for the
+// round-trip property test.
+func randomProgram(rng *rand.Rand) *ast.Program {
+	preds := []string{"p", "q", "r"}
+	arity := map[string]int{"p": 1, "q": 2, "r": 1}
+	vars := []string{"X", "Y", "Z"}
+	consts := []string{"a", "b", "c1"}
+	term := func() ast.Term {
+		if rng.Intn(2) == 0 {
+			return ast.Var(vars[rng.Intn(len(vars))])
+		}
+		return ast.Const(consts[rng.Intn(len(consts))])
+	}
+	atom := func() ast.Atom {
+		p := preds[rng.Intn(len(preds))]
+		args := make([]ast.Term, arity[p])
+		for i := range args {
+			args[i] = term()
+		}
+		return ast.Atom{Pred: p, Args: args}
+	}
+	nRules := 1 + rng.Intn(4)
+	prog := &ast.Program{}
+	for i := 0; i < nRules; i++ {
+		r := ast.Rule{Head: atom()}
+		nLits := rng.Intn(4)
+		for j := 0; j < nLits; j++ {
+			switch rng.Intn(4) {
+			case 0:
+				r.Body = append(r.Body, ast.Pos(atom()))
+			case 1:
+				r.Body = append(r.Body, ast.Neg(atom()))
+			case 2:
+				r.Body = append(r.Body, ast.Eq(term(), term()))
+			default:
+				r.Body = append(r.Body, ast.Neq(term(), term()))
+			}
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	return prog
+}
+
+func TestPropPrintParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProgram(rng)
+		printed := p.String()
+		re, err := Program(printed)
+		if err != nil {
+			t.Logf("parse failed for:\n%s\nerr: %v", printed, err)
+			return false
+		}
+		return re.String() == printed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := MustProgram("t(X) :- e(X,Y), !t(Y).")
+	if !strings.Contains(p.String(), "!t(Y)") {
+		t.Errorf("String = %q", p.String())
+	}
+}

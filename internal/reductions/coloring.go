@@ -1,0 +1,69 @@
+package reductions
+
+import (
+	"repro/internal/ast"
+	"repro/internal/engine"
+	"repro/internal/graphs"
+	"repro/internal/parser"
+	"repro/internal/relation"
+)
+
+// PiCOL returns the paper's fixed program π_COL (Lemma 1): it has a
+// fixpoint on a graph database E iff the graph is 3-colorable.
+//
+//	R(x) ← R(x)          B(x) ← B(x)          G(x) ← G(x)
+//	P(x) ← E(x,y), R(x), R(y)   (and for B, G)
+//	P(x) ← G(x), B(x)    P(x) ← B(x), R(x)    P(x) ← R(x), G(x)
+//	P(x) ← ¬R(x), ¬B(x), ¬G(x)
+//	T(z) ← P(x), ¬T(w)
+func PiCOL() *ast.Program {
+	return parser.MustProgram(`
+R(X) :- R(X).
+B(X) :- B(X).
+G(X) :- G(X).
+P(X) :- E(X,Y), R(X), R(Y).
+P(X) :- E(X,Y), B(X), B(Y).
+P(X) :- E(X,Y), G(X), G(Y).
+P(X) :- G(X), B(X).
+P(X) :- B(X), R(X).
+P(X) :- R(X), G(X).
+P(X) :- !R(X), !B(X), !G(X).
+T(Z) :- P(X), !T(W).
+`)
+}
+
+// ColoringFromFixpoint reads a proper 3-coloring out of a fixpoint of
+// (π_COL, G): color 0/1/2 for R/B/G membership of each vertex.
+func ColoringFromFixpoint(g *graphs.Graph, db *relation.Database, st engine.State) []int {
+	colors := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		colors[v] = -1
+		id, ok := db.Universe().Lookup(graphs.VertexName(v))
+		if !ok {
+			continue
+		}
+		switch {
+		case st["R"].Has(relation.Tuple{id}):
+			colors[v] = 0
+		case st["B"].Has(relation.Tuple{id}):
+			colors[v] = 1
+		case st["G"].Has(relation.Tuple{id}):
+			colors[v] = 2
+		}
+	}
+	return colors
+}
+
+// FixpointFromColoring builds the state (R,B,G = color classes, P = ∅,
+// T = ∅) corresponding to a proper 3-coloring.
+func FixpointFromColoring(in *engine.Instance, g *graphs.Graph, colors []int) engine.State {
+	st := in.NewState()
+	u := in.Universe()
+	preds := []string{"R", "B", "G"}
+	for v := 0; v < g.N(); v++ {
+		if id, ok := u.Lookup(graphs.VertexName(v)); ok && colors[v] >= 0 && colors[v] < 3 {
+			st[preds[colors[v]]].Add(relation.Tuple{id})
+		}
+	}
+	return st
+}

@@ -1,0 +1,175 @@
+// Package reductions implements the concrete constructions of the
+// paper's Section 3:
+//
+//   - Example 1: the correspondence between SATISFIABILITY instances I
+//     and databases D(I) over the vocabulary (V, P, N), and the fixed
+//     program π_SAT whose fixpoints on D(I) are exactly the satisfying
+//     assignments of I (Theorems 1 and 2).
+//   - Lemma 1: the fixed program π_COL that has a fixpoint on a graph
+//     database iff the graph is 3-colorable.
+//   - Theorem 4: the construction π_SC(C) that turns a Boolean circuit
+//     C presenting a graph on {0,1}ⁿ into a DATALOG¬ program over the
+//     binary domain whose fixpoint existence is equivalent to
+//     3-colorability of the presented graph (SUCCINCT 3-COLORING).
+//
+// Each construction comes with both directions of the correspondence
+// (assignment ↔ fixpoint, coloring ↔ fixpoint) so the equivalences are
+// testable, not just claimed.
+package reductions
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/engine"
+	"repro/internal/parser"
+	"repro/internal/relation"
+)
+
+// SATInstance is a CNF SATISFIABILITY instance with DIMACS-style
+// literals (variable v ∈ 1..NumVars appears as +v or −v).
+type SATInstance struct {
+	NumVars int
+	Clauses [][]int
+}
+
+// Validate checks literal ranges.
+func (i *SATInstance) Validate() error {
+	for ci, c := range i.Clauses {
+		for _, l := range c {
+			v := l
+			if v < 0 {
+				v = -v
+			}
+			if v == 0 || v > i.NumVars {
+				return fmt.Errorf("reductions: clause %d has out-of-range literal %d", ci, l)
+			}
+		}
+	}
+	return nil
+}
+
+// Eval reports whether the assignment (indexed by variable, entry 0
+// ignored) satisfies the instance.
+func (i *SATInstance) Eval(assign []bool) bool {
+	for _, c := range i.Clauses {
+		ok := false
+		for _, l := range c {
+			v := l
+			if v < 0 {
+				v = -v
+			}
+			if (l > 0) == assign[v] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// CountModels counts satisfying assignments by brute force (intended
+// for small instances used in tests and experiment tables).
+func (i *SATInstance) CountModels() int {
+	assign := make([]bool, i.NumVars+1)
+	count := 0
+	for mask := 0; mask < 1<<i.NumVars; mask++ {
+		for v := 1; v <= i.NumVars; v++ {
+			assign[v] = mask&(1<<(v-1)) != 0
+		}
+		if i.Eval(assign) {
+			count++
+		}
+	}
+	return count
+}
+
+// VarName returns the database constant for variable v of an instance.
+func VarName(v int) string { return fmt.Sprintf("x%d", v) }
+
+// ClauseName returns the database constant for clause index j (0-based).
+func ClauseName(j int) string { return fmt.Sprintf("c%d", j) }
+
+// SATDatabase builds the paper's D(I) over the vocabulary (V, P, N):
+// the universe is the variables plus the clauses, V holds the
+// variables, and P(c,v) / N(c,v) record positive/negative occurrences
+// of v in c.
+func SATDatabase(inst *SATInstance) (*relation.Database, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	db := relation.NewDatabase()
+	for v := 1; v <= inst.NumVars; v++ {
+		db.AddFact("V", VarName(v))
+	}
+	for j, c := range inst.Clauses {
+		db.AddConstant(ClauseName(j))
+		for _, l := range c {
+			if l > 0 {
+				db.AddFact("P", ClauseName(j), VarName(l))
+			} else {
+				db.AddFact("N", ClauseName(j), VarName(-l))
+			}
+		}
+	}
+	// The relations P and N must exist even for degenerate instances.
+	db.MustEnsure("P", 2)
+	db.MustEnsure("N", 2)
+	db.MustEnsure("V", 1)
+	return db, nil
+}
+
+// PiSAT returns the paper's fixed program π_SAT (Example 1):
+//
+//	S(x) ← S(x)
+//	Q(x) ← V(x)
+//	Q(x) ← ¬S(x), P(x,y), S(y)
+//	Q(x) ← ¬S(x), N(x,y), ¬S(y)
+//	T(z) ← ¬Q(u), ¬T(w)
+//
+// For every instance I, the fixpoints of (π_SAT, D(I)) correspond
+// one-to-one to the satisfying assignments of I.
+func PiSAT() *ast.Program {
+	return parser.MustProgram(`
+S(X) :- S(X).
+Q(X) :- V(X).
+Q(X) :- !S(X), P(X,Y), S(Y).
+Q(X) :- !S(X), N(X,Y), !S(Y).
+T(Z) :- !Q(U), !T(W).
+`)
+}
+
+// AssignmentFromFixpoint reads the satisfying assignment out of a
+// fixpoint of (π_SAT, D(I)): variable v is true iff S(x_v) holds.
+func AssignmentFromFixpoint(inst *SATInstance, db *relation.Database, st engine.State) []bool {
+	assign := make([]bool, inst.NumVars+1)
+	s := st["S"]
+	for v := 1; v <= inst.NumVars; v++ {
+		if id, ok := db.Universe().Lookup(VarName(v)); ok {
+			assign[v] = s.Has(relation.Tuple{id})
+		}
+	}
+	return assign
+}
+
+// FixpointFromAssignment builds the state (S = true variables,
+// Q = universe, T = ∅) that the Theorem 1 proof exhibits as the
+// fixpoint corresponding to a satisfying assignment.
+func FixpointFromAssignment(in *engine.Instance, inst *SATInstance, assign []bool) engine.State {
+	st := in.NewState()
+	u := in.Universe()
+	for v := 1; v <= inst.NumVars; v++ {
+		if assign[v] {
+			if id, ok := u.Lookup(VarName(v)); ok {
+				st["S"].Add(relation.Tuple{id})
+			}
+		}
+	}
+	for _, id := range u.Elements() {
+		st["Q"].Add(relation.Tuple{id})
+	}
+	return st
+}

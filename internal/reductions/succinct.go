@@ -1,0 +1,155 @@
+package reductions
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/circuit"
+	"repro/internal/engine"
+	"repro/internal/graphs"
+	"repro/internal/relation"
+)
+
+// gatePred names the IDB predicate of gate i; the output gate is
+// renamed to the edge relation E of π_COL, per the proof of Theorem 4.
+func gatePred(i, last int) string {
+	if i == last {
+		return "e"
+	}
+	return fmt.Sprintf("g%d", i)
+}
+
+// zVar names the j-th of the 2n gate-relation variables.
+func zVar(j int) string { return fmt.Sprintf("Z%d", j) }
+
+// PiSuccinct3Col builds the Theorem 4 reduction: given a circuit C
+// with 2n inputs presenting a graph on {0,1}ⁿ, it returns a DATALOG¬
+// program π_SC and a database over the binary domain such that
+// (π_SC, D) has a fixpoint iff the presented graph is 3-colorable.
+//
+// The program has one 2n-ary nondatabase relation per gate, defined by
+//
+//	AND:  Gᵢ(z̄) ← G_b(z̄), G_c(z̄)
+//	OR:   Gᵢ(z̄) ← G_b(z̄)   and   Gᵢ(z̄) ← G_c(z̄)
+//	NOT:  Gᵢ(z̄) ← ¬G_b(z̄)
+//	IN j: Gᵢ(z₁,…,z_{j-1}, 1, z_{j+1},…,z_{2n}) ←
+//
+// the output gate is identified with the edge relation E, and the
+// rules of π_COL (with x, y read as n-tuples of variables) are
+// appended.  The database contributes only the domain {0,1}.
+func PiSuccinct3Col(sg *circuit.SuccinctGraph) (*ast.Program, *relation.Database) {
+	n := sg.N
+	last := sg.C.Size() - 1
+	prog := &ast.Program{}
+
+	zs := make([]ast.Term, 2*n)
+	for j := range zs {
+		zs[j] = ast.Var(zVar(j))
+	}
+	gateAtom := func(i int, args []ast.Term) ast.Atom {
+		return ast.Atom{Pred: gatePred(i, last), Args: args}
+	}
+
+	inputIdx := 0
+	for i, g := range sg.C.Gates {
+		switch g.Kind {
+		case circuit.In:
+			// The j-th input reads bit j of the concatenated address:
+			// the head pins position j to the constant 1.
+			args := make([]ast.Term, 2*n)
+			copy(args, zs)
+			args[inputIdx] = ast.Const("1")
+			inputIdx++
+			prog.Rules = append(prog.Rules, ast.Rule{Head: gateAtom(i, args)})
+		case circuit.And:
+			prog.Rules = append(prog.Rules, ast.NewRule(gateAtom(i, zs),
+				ast.Pos(gateAtom(g.B, zs)), ast.Pos(gateAtom(g.C, zs))))
+		case circuit.Or:
+			prog.Rules = append(prog.Rules,
+				ast.NewRule(gateAtom(i, zs), ast.Pos(gateAtom(g.B, zs))),
+				ast.NewRule(gateAtom(i, zs), ast.Pos(gateAtom(g.C, zs))))
+		case circuit.Not:
+			prog.Rules = append(prog.Rules, ast.NewRule(gateAtom(i, zs),
+				ast.Neg(gateAtom(g.B, zs))))
+		}
+	}
+
+	// π_COL over n-tuples.
+	xs := make([]ast.Term, n)
+	ys := make([]ast.Term, n)
+	for j := 0; j < n; j++ {
+		xs[j] = ast.Var(fmt.Sprintf("X%d", j))
+		ys[j] = ast.Var(fmt.Sprintf("Y%d", j))
+	}
+	xy := append(append([]ast.Term{}, xs...), ys...)
+	colorAtom := func(pred string, args []ast.Term) ast.Atom {
+		return ast.Atom{Pred: pred, Args: args}
+	}
+	edge := ast.Atom{Pred: "e", Args: xy}
+
+	for _, c := range []string{"cR", "cB", "cG"} {
+		prog.Rules = append(prog.Rules, ast.NewRule(colorAtom(c, xs), ast.Pos(colorAtom(c, xs))))
+	}
+	for _, c := range []string{"cR", "cB", "cG"} {
+		prog.Rules = append(prog.Rules, ast.NewRule(colorAtom("p", xs),
+			ast.Pos(edge), ast.Pos(colorAtom(c, xs)), ast.Pos(colorAtom(c, ys))))
+	}
+	pairs := [][2]string{{"cG", "cB"}, {"cB", "cR"}, {"cR", "cG"}}
+	for _, pr := range pairs {
+		prog.Rules = append(prog.Rules, ast.NewRule(colorAtom("p", xs),
+			ast.Pos(colorAtom(pr[0], xs)), ast.Pos(colorAtom(pr[1], xs))))
+	}
+	prog.Rules = append(prog.Rules, ast.NewRule(colorAtom("p", xs),
+		ast.Neg(colorAtom("cR", xs)), ast.Neg(colorAtom("cB", xs)), ast.Neg(colorAtom("cG", xs))))
+	prog.Rules = append(prog.Rules, ast.NewRule(
+		ast.NewAtom("t", ast.Var("ZT")),
+		ast.Pos(colorAtom("p", xs)),
+		ast.Neg(ast.NewAtom("t", ast.Var("WT")))))
+
+	db := relation.NewDatabase()
+	db.AddConstant("0")
+	db.AddConstant("1")
+	return prog, db
+}
+
+// SuccinctColoringFromFixpoint reads the coloring of the presented
+// graph out of a fixpoint of π_SC: vertex v's color is its membership
+// in cR/cB/cG at its bit address.
+func SuccinctColoringFromFixpoint(sg *circuit.SuccinctGraph, in *engine.Instance, st engine.State) []int {
+	u := in.Universe()
+	zero, _ := u.Lookup("0")
+	one, _ := u.Lookup("1")
+	colors := make([]int, sg.NumVertices())
+	for v := range colors {
+		colors[v] = -1
+		t := make(relation.Tuple, sg.N)
+		for j := 0; j < sg.N; j++ {
+			if v&(1<<j) != 0 {
+				t[j] = one
+			} else {
+				t[j] = zero
+			}
+		}
+		switch {
+		case st["cR"].Has(t):
+			colors[v] = 0
+		case st["cB"].Has(t):
+			colors[v] = 1
+		case st["cG"].Has(t):
+			colors[v] = 2
+		}
+	}
+	return colors
+}
+
+// ExplicitGraph expands the succinct graph into an explicit
+// graphs.Graph on 2ⁿ vertices — the object the Lemma 1 reduction and
+// the 3-coloring oracle run on, and the exponential blowup Theorem 4's
+// experiment measures.
+func ExplicitGraph(sg *circuit.SuccinctGraph) *graphs.Graph {
+	g := graphs.New(sg.NumVertices())
+	for _, e := range sg.ExplicitEdges() {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}

@@ -1,0 +1,265 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is a finite set of tuples of a fixed arity.  Arity 0 is
+// allowed: such a relation is either empty ("false") or contains the
+// single empty tuple ("true"); the paper's toggle constructions never
+// need it but the engine supports it uniformly.
+//
+// Relations maintain lazily built per-column hash indexes used by the
+// evaluation engine's join plans; indexes are invalidated on mutation.
+type Relation struct {
+	arity   int
+	tuples  map[string]Tuple
+	indexes map[int]map[int][]Tuple // column -> value -> tuples
+}
+
+// New returns an empty relation of the given arity.  It panics on a
+// negative arity.
+func New(arity int) *Relation {
+	if arity < 0 {
+		panic(fmt.Sprintf("relation: negative arity %d", arity))
+	}
+	return &Relation{arity: arity, tuples: make(map[string]Tuple)}
+}
+
+// FromTuples builds a relation of the given arity from tuples.  Tuples
+// of the wrong arity cause a panic; duplicates collapse.
+func FromTuples(arity int, tuples []Tuple) *Relation {
+	r := New(arity)
+	for _, t := range tuples {
+		r.Add(t)
+	}
+	return r
+}
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Empty reports whether the relation has no tuples.
+func (r *Relation) Empty() bool { return len(r.tuples) == 0 }
+
+// Add inserts t, reporting whether it was new.  It panics if the arity
+// of t does not match the relation's.
+func (r *Relation) Add(t Tuple) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("relation: adding tuple of arity %d to relation of arity %d", len(t), r.arity))
+	}
+	k := t.Key()
+	if _, ok := r.tuples[k]; ok {
+		return false
+	}
+	r.tuples[k] = t.Clone()
+	r.indexes = nil
+	return true
+}
+
+// Has reports whether t is present.
+func (r *Relation) Has(t Tuple) bool {
+	if len(t) != r.arity {
+		return false
+	}
+	_, ok := r.tuples[t.Key()]
+	return ok
+}
+
+// Remove deletes t, reporting whether it was present.
+func (r *Relation) Remove(t Tuple) bool {
+	k := t.Key()
+	if _, ok := r.tuples[k]; !ok {
+		return false
+	}
+	delete(r.tuples, k)
+	r.indexes = nil
+	return true
+}
+
+// Tuples returns all tuples in deterministic (sorted) order.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, 0, len(r.tuples))
+	for _, t := range r.tuples {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Each calls f for every tuple in unspecified order until f returns
+// false.  It must not mutate the relation.
+func (r *Relation) Each(f func(Tuple) bool) {
+	for _, t := range r.tuples {
+		if !f(t) {
+			return
+		}
+	}
+}
+
+// Clone returns a deep copy (indexes are not copied; they rebuild on
+// demand).
+func (r *Relation) Clone() *Relation {
+	c := New(r.arity)
+	for k, t := range r.tuples {
+		c.tuples[k] = t
+	}
+	return c
+}
+
+// Equal reports whether r and o contain exactly the same tuples.
+func (r *Relation) Equal(o *Relation) bool {
+	if r.arity != o.arity || len(r.tuples) != len(o.tuples) {
+		return false
+	}
+	for k := range r.tuples {
+		if _, ok := o.tuples[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every tuple of r is in o.
+func (r *Relation) SubsetOf(o *Relation) bool {
+	if r.arity != o.arity || len(r.tuples) > len(o.tuples) {
+		return false
+	}
+	for k := range r.tuples {
+		if _, ok := o.tuples[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionWith adds every tuple of o to r, returning the number of tuples
+// actually added.
+func (r *Relation) UnionWith(o *Relation) int {
+	if r.arity != o.arity {
+		panic(fmt.Sprintf("relation: union of arities %d and %d", r.arity, o.arity))
+	}
+	added := 0
+	for k, t := range o.tuples {
+		if _, ok := r.tuples[k]; !ok {
+			r.tuples[k] = t
+			added++
+		}
+	}
+	if added > 0 {
+		r.indexes = nil
+	}
+	return added
+}
+
+// Union returns a fresh relation with the tuples of both r and o.
+func (r *Relation) Union(o *Relation) *Relation {
+	c := r.Clone()
+	c.UnionWith(o)
+	return c
+}
+
+// Intersect returns a fresh relation with the tuples common to r and o.
+func (r *Relation) Intersect(o *Relation) *Relation {
+	if r.arity != o.arity {
+		panic(fmt.Sprintf("relation: intersect of arities %d and %d", r.arity, o.arity))
+	}
+	c := New(r.arity)
+	small, large := r, o
+	if large.Len() < small.Len() {
+		small, large = large, small
+	}
+	for k, t := range small.tuples {
+		if _, ok := large.tuples[k]; ok {
+			c.tuples[k] = t
+		}
+	}
+	return c
+}
+
+// Diff returns a fresh relation with the tuples of r not in o.
+func (r *Relation) Diff(o *Relation) *Relation {
+	if r.arity != o.arity {
+		panic(fmt.Sprintf("relation: diff of arities %d and %d", r.arity, o.arity))
+	}
+	c := New(r.arity)
+	for k, t := range r.tuples {
+		if _, ok := o.tuples[k]; !ok {
+			c.tuples[k] = t
+		}
+	}
+	return c
+}
+
+// Index returns a hash index on the given column: a map from value to
+// the tuples having that value in the column.  The index is built
+// lazily and cached until the next mutation.  Callers must not mutate
+// the returned map or slices.
+func (r *Relation) Index(col int) map[int][]Tuple {
+	if col < 0 || col >= r.arity {
+		panic(fmt.Sprintf("relation: index column %d out of range for arity %d", col, r.arity))
+	}
+	if r.indexes == nil {
+		r.indexes = make(map[int]map[int][]Tuple)
+	}
+	if idx, ok := r.indexes[col]; ok {
+		return idx
+	}
+	idx := make(map[int][]Tuple)
+	for _, t := range r.tuples {
+		idx[t[col]] = append(idx[t[col]], t)
+	}
+	r.indexes[col] = idx
+	return idx
+}
+
+// Format renders the relation's tuples with constant names from u, in
+// sorted order, e.g. "{(a,b), (b,c)}".
+func (r *Relation) Format(u *Universe) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, t := range r.Tuples() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteByte('(')
+		for j, v := range t {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(u.Name(v))
+		}
+		b.WriteByte(')')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Full returns the relation Aᵏ: all tuples of the given arity over a
+// universe of size n.  Beware: it materializes n^arity tuples.
+func Full(arity, n int) *Relation {
+	r := New(arity)
+	if arity == 0 {
+		r.Add(Tuple{})
+		return r
+	}
+	t := make(Tuple, arity)
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == arity {
+			r.Add(t)
+			return
+		}
+		for v := 0; v < n; v++ {
+			t[pos] = v
+			rec(pos + 1)
+		}
+	}
+	rec(0)
+	return r
+}

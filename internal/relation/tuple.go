@@ -1,0 +1,92 @@
+package relation
+
+import "strconv"
+
+// Tuple is a fixed-arity sequence of universe ids.  Tuples are value-like:
+// callers must not mutate a tuple after handing it to a Relation.
+type Tuple []int
+
+// Key returns a compact string encoding of the tuple, usable as a map
+// key.  Two tuples have equal keys iff they are equal element-wise.
+func (t Tuple) Key() string {
+	// Variable-length encoding with a separator keeps keys unambiguous
+	// for any universe size; strconv avoids fmt overhead on hot paths.
+	buf := make([]byte, 0, len(t)*4)
+	for _, v := range t {
+		buf = strconv.AppendInt(buf, int64(v), 36)
+		buf = append(buf, '|')
+	}
+	return string(buf)
+}
+
+// Equal reports whether t and o have the same length and elements.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if t[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples first by length, then lexicographically by
+// element.  It returns -1, 0, or +1.
+func (t Tuple) Compare(o Tuple) int {
+	if len(t) != len(o) {
+		if len(t) < len(o) {
+			return -1
+		}
+		return 1
+	}
+	for i := range t {
+		switch {
+		case t[i] < o[i]:
+			return -1
+		case t[i] > o[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Clone returns a fresh copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Concat returns the concatenation of t and o as a fresh tuple.
+func (t Tuple) Concat(o Tuple) Tuple {
+	c := make(Tuple, 0, len(t)+len(o))
+	c = append(c, t...)
+	c = append(c, o...)
+	return c
+}
+
+// Project returns the subtuple at the given column positions.
+func (t Tuple) Project(cols []int) Tuple {
+	c := make(Tuple, len(cols))
+	for i, col := range cols {
+		c[i] = t[col]
+	}
+	return c
+}
+
+// String formats the tuple's raw ids, e.g. "(0,3,1)".  For named output
+// use Relation.Format with a Universe.
+func (t Tuple) String() string {
+	buf := make([]byte, 0, len(t)*4+2)
+	buf = append(buf, '(')
+	for i, v := range t {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, int64(v), 10)
+	}
+	buf = append(buf, ')')
+	return string(buf)
+}

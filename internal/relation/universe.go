@@ -1,0 +1,99 @@
+// Package relation implements the relational substrate of the
+// reproduction: interned universes of constants, tuples, set-semantics
+// relations with per-column hash indexes, and named databases.
+//
+// The paper evaluates DATALOG¬ programs over finite databases
+// D = (A, R₁, …, Rₗ).  A Universe is the finite set A with constants
+// interned to dense integers, a Relation is a finite set of tuples over
+// A, and a Database bundles a universe with named relations.  All
+// iteration orders exposed by this package are deterministic (sorted),
+// so every layer built on top is reproducible bit-for-bit.
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Universe interns constant names to dense non-negative integers.  It is
+// the finite universe A of a database: every value that can appear in a
+// tuple is an element of the universe.  The zero value is not usable;
+// create universes with NewUniverse.
+type Universe struct {
+	names []string
+	index map[string]int
+}
+
+// NewUniverse returns an empty universe.
+func NewUniverse() *Universe {
+	return &Universe{index: make(map[string]int)}
+}
+
+// Intern returns the dense id for name, adding it to the universe if it
+// is not already present.  Ids are assigned in first-interned order,
+// starting from 0.
+func (u *Universe) Intern(name string) int {
+	if id, ok := u.index[name]; ok {
+		return id
+	}
+	id := len(u.names)
+	u.names = append(u.names, name)
+	u.index[name] = id
+	return id
+}
+
+// Lookup reports the id for name and whether the name is interned.
+func (u *Universe) Lookup(name string) (int, bool) {
+	id, ok := u.index[name]
+	return id, ok
+}
+
+// Name returns the constant name for id.  It panics if id is out of
+// range, which always indicates a bug in the caller.
+func (u *Universe) Name(id int) string {
+	if id < 0 || id >= len(u.names) {
+		panic(fmt.Sprintf("relation: universe id %d out of range [0,%d)", id, len(u.names)))
+	}
+	return u.names[id]
+}
+
+// Size returns the number of interned constants, |A|.
+func (u *Universe) Size() int { return len(u.names) }
+
+// Names returns a copy of all interned names in id order.
+func (u *Universe) Names() []string {
+	out := make([]string, len(u.names))
+	copy(out, u.names)
+	return out
+}
+
+// Elements returns all ids 0..Size()-1, the active domain of the
+// database.  The slice is freshly allocated.
+func (u *Universe) Elements() []int {
+	out := make([]int, len(u.names))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Clone returns a deep copy of the universe.
+func (u *Universe) Clone() *Universe {
+	c := &Universe{
+		names: make([]string, len(u.names)),
+		index: make(map[string]int, len(u.index)),
+	}
+	copy(c.names, u.names)
+	for k, v := range u.index {
+		c.index[k] = v
+	}
+	return c
+}
+
+// SortedNames returns the interned names in lexicographic order.  Useful
+// for deterministic printing.
+func (u *Universe) SortedNames() []string {
+	out := u.Names()
+	sort.Strings(out)
+	return out
+}

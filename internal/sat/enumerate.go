@@ -1,0 +1,53 @@
+package sat
+
+// EnumerateProjected enumerates the models of the formula projected
+// onto the given variables: each distinct assignment to vars that
+// extends to a model is reported exactly once (auxiliary Tseitin
+// variables therefore do not inflate the count).  After each model a
+// blocking clause over vars is added, so the solver is consumed by the
+// enumeration.
+//
+// fn may be nil.  If fn returns false, or limit (> 0) models have been
+// produced, enumeration stops early with complete = false.  Otherwise
+// count is the exact number of projected models and complete is true.
+//
+// This is the workhorse behind the Theorem 2 (unique fixpoint) and
+// Theorem 3 (least fixpoint = intersection of all fixpoints) analyses.
+func (s *Solver) EnumerateProjected(vars []int, limit int, fn func(model map[int]bool) bool) (count int, complete bool) {
+	for {
+		if limit > 0 && count >= limit {
+			return count, false
+		}
+		if s.Solve() != Sat {
+			return count, true
+		}
+		m := make(map[int]bool, len(vars))
+		blocking := make([]int, 0, len(vars))
+		for _, v := range vars {
+			val := s.Value(v)
+			m[v] = val
+			if val {
+				blocking = append(blocking, -v)
+			} else {
+				blocking = append(blocking, v)
+			}
+		}
+		count++
+		if fn != nil && !fn(m) {
+			return count, false
+		}
+		if len(blocking) == 0 {
+			// Projection onto no variables: one model class only.
+			return count, true
+		}
+		if !s.AddClause(blocking...) {
+			return count, true
+		}
+	}
+}
+
+// CountProjected returns the number of projected models up to limit
+// (0 = unlimited), and whether the count is exact.
+func (s *Solver) CountProjected(vars []int, limit int) (count int, exact bool) {
+	return s.EnumerateProjected(vars, limit, nil)
+}

@@ -1,0 +1,92 @@
+package sat
+
+// varHeap is a max-heap of variables ordered by activity, with a
+// position index so activities can be bumped in place (the MiniSat
+// order_heap).
+type varHeap struct {
+	act  *[]float64
+	heap []int32
+	pos  []int32 // pos[v] = index+1 in heap; 0 = absent
+}
+
+func newVarHeap(act *[]float64) *varHeap {
+	return &varHeap{act: act, pos: make([]int32, 1)}
+}
+
+func (h *varHeap) less(i, j int) bool {
+	return (*h.act)[h.heap[i]] > (*h.act)[h.heap[j]]
+}
+
+func (h *varHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = int32(i + 1)
+	h.pos[h.heap[j]] = int32(j + 1)
+}
+
+func (h *varHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *varHeap) siftDown(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.less(l, best) {
+			best = l
+		}
+		if r < n && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+// insert adds v if absent.
+func (h *varHeap) insert(v int32) {
+	for int(v) >= len(h.pos) {
+		h.pos = append(h.pos, 0)
+	}
+	if h.pos[v] != 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.pos[v] = int32(len(h.heap))
+	h.siftUp(len(h.heap) - 1)
+}
+
+// update re-establishes heap order after v's activity was bumped (a
+// bump only increases activity, so sift up).  Absent variables are
+// ignored.
+func (h *varHeap) update(v int32) {
+	if int(v) >= len(h.pos) || h.pos[v] == 0 {
+		return
+	}
+	h.siftUp(int(h.pos[v] - 1))
+}
+
+// pop removes and returns the variable with the highest activity.
+func (h *varHeap) pop() int32 {
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.pos[v] = 0
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return v
+}

@@ -1,0 +1,29 @@
+package sat
+
+import "repro/internal/cnf"
+
+// FromFormula builds a solver preloaded with the formula's variables
+// and clauses.
+func FromFormula(f *cnf.Formula) *Solver {
+	s := NewSolver()
+	for i := 0; i < f.NumVars; i++ {
+		s.NewVar()
+	}
+	for _, c := range f.Clauses {
+		if !s.AddClause(c...) {
+			break
+		}
+	}
+	return s
+}
+
+// SolveFormula decides satisfiability of f, returning the verdict and
+// (for Sat) a model indexed by variable.
+func SolveFormula(f *cnf.Formula) (Status, []bool) {
+	s := FromFormula(f)
+	st := s.Solve()
+	if st == Sat {
+		return st, s.Model()
+	}
+	return st, nil
+}

@@ -1,0 +1,134 @@
+// Package semantics implements the four evaluation semantics the paper
+// discusses for DATALOG¬ programs:
+//
+//   - Inflationary (Section 4, the paper's proposal): iterate
+//     Θ̃(S) = S ∪ Θ(S) to its inductive fixpoint Θ^∞, reached after at
+//     most |A|^k stages — polynomial-time data complexity, total on all
+//     DATALOG¬ programs.
+//   - LeastFixpoint (the standard DATALOG semantics): valid for
+//     programs monotone in their IDB relations (positive and
+//     semipositive classes); computed by the same iteration, which for
+//     monotone Θ converges to the least fixpoint (Tarski/Kleene).
+//   - Stratified (Chandra–Harel / Apt–Blair–Walker): evaluate strata
+//     bottom-up, each stratum a semipositive program over the results
+//     of lower strata.  Rejects unstratifiable programs.
+//   - WellFounded (Van Gelder's alternating fixpoint): the modern
+//     default in XSB/DLV-style systems, included as the natural
+//     comparison point; three-valued, total on all programs.
+//
+// All evaluators run semi-naive by default (delta-driven; see the
+// engine package for the soundness argument) and report round counts
+// so benchmarks can verify the paper's |A|^k stage bound.
+package semantics
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/engine"
+	"repro/internal/relation"
+)
+
+// Stats records evaluation effort.
+type Stats struct {
+	// Rounds is the number of Θ applications (stages of the induction).
+	Rounds int
+	// Tuples is the total number of tuples in the final state.
+	Tuples int
+	// MaxDeltaTuples is the largest per-stage growth observed.
+	MaxDeltaTuples int
+}
+
+// Result is the outcome of a two-valued evaluation.
+type Result struct {
+	State engine.State
+	Stats Stats
+	// Universe names the constants the state's tuples refer to.  For
+	// stratified evaluation it extends (and shares the ids of) the
+	// caller's database universe.
+	Universe *relation.Universe
+}
+
+// Mode selects naive or semi-naive stage computation.
+type Mode int
+
+// Evaluation modes.
+const (
+	SemiNaive Mode = iota
+	Naive
+)
+
+// Inflationary computes the paper's inflationary semantics Θ^∞ of
+// (π, D): the inductive fixpoint of S ↦ S ∪ Θ(S).
+func Inflationary(in *engine.Instance) *Result { return InflationaryMode(in, SemiNaive) }
+
+// InflationaryMode is Inflationary with an explicit evaluation mode;
+// Naive recomputes Θ(S) from scratch each stage (the ablation baseline
+// for benchmark E8).
+func InflationaryMode(in *engine.Instance, mode Mode) *Result {
+	return lfpLoop(in, nil, mode)
+}
+
+// LeastFixpoint computes the standard least-fixpoint semantics.  It
+// errors unless the program is monotone in its IDB relations (positive
+// or semipositive), since for general DATALOG¬ a least fixpoint may
+// not exist — the paper's Section 3 shows deciding that is hard.
+func LeastFixpoint(in *engine.Instance) (*Result, error) {
+	return LeastFixpointMode(in, SemiNaive)
+}
+
+// LeastFixpointMode is LeastFixpoint with an explicit evaluation mode.
+func LeastFixpointMode(in *engine.Instance, mode Mode) (*Result, error) {
+	switch c := in.Program().Classify(); c {
+	case ast.ClassPositive, ast.ClassSemipositive:
+		return lfpLoop(in, nil, mode), nil
+	default:
+		return nil, fmt.Errorf("least fixpoint semantics requires a positive or semipositive program; this one is %v", c)
+	}
+}
+
+// lfpLoop iterates S ↦ S ∪ Θ(S) to its inductive fixpoint.  When
+// negFixed is non-nil, negated IDB literals are evaluated against it
+// instead of the evolving state (the Γ operator of the well-founded
+// semantics); the iterated operator is then monotone and the loop
+// yields its least fixpoint.
+func lfpLoop(in *engine.Instance, negFixed engine.State, mode Mode) *Result {
+	stats := Stats{}
+	prev := in.NewState()
+
+	negOf := func(s engine.State) engine.State {
+		if negFixed != nil {
+			return negFixed
+		}
+		return s
+	}
+
+	cur := in.ApplySplit(prev, negOf(prev))
+	stats.Rounds = 1
+	delta := cur.Clone()
+	if n := delta.Total(); n > stats.MaxDeltaTuples {
+		stats.MaxDeltaTuples = n
+	}
+
+	for !delta.Empty() {
+		var derived engine.State
+		if mode == SemiNaive {
+			derived = in.ApplyDeltaSplit(prev, delta, cur, negOf(cur))
+		} else {
+			derived = in.ApplySplit(cur, negOf(cur))
+		}
+		stats.Rounds++
+		newDelta := derived.Diff(cur)
+		if newDelta.Empty() {
+			break
+		}
+		if n := newDelta.Total(); n > stats.MaxDeltaTuples {
+			stats.MaxDeltaTuples = n
+		}
+		prev = cur.Clone()
+		cur.UnionWith(newDelta)
+		delta = newDelta
+	}
+	stats.Tuples = cur.Total()
+	return &Result{State: cur, Stats: stats, Universe: in.Universe()}
+}

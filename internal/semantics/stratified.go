@@ -1,0 +1,60 @@
+package semantics
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/engine"
+	"repro/internal/relation"
+)
+
+// Stratified evaluates the program under the stratified semantics of
+// Chandra–Harel: strata are computed bottom-up, each stratum treated as
+// a semipositive program whose negated predicates are fully evaluated
+// lower-stratum results.  It returns an error for unstratifiable
+// programs — the paper's point in Section 1 that stratified semantics
+// "cannot assign meaning to all DATALOG¬ programs".
+//
+// The database passed to the engine instance is not modified; the
+// evaluation works on a clone extended with intermediate strata.
+func Stratified(prog *ast.Program, db *relation.Database) (*Result, error) {
+	return StratifiedMode(prog, db, SemiNaive)
+}
+
+// StratifiedMode is Stratified with an explicit evaluation mode.
+func StratifiedMode(prog *ast.Program, db *relation.Database, mode Mode) (*Result, error) {
+	strat, err := prog.Stratify()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := prog.Validate(); err != nil {
+		return nil, err
+	}
+
+	work := db.Clone()
+	stats := Stats{}
+	final := make(engine.State)
+
+	for k := 0; k < strat.NumStrata(); k++ {
+		rules := prog.RulesForStratum(strat, k)
+		sub := &ast.Program{Rules: rules}
+		// Predicates of lower strata appear only in bodies of sub, so
+		// they are EDB there and read from work, where the previous
+		// iterations installed their computed values.
+		inst, err := engine.New(sub, work)
+		if err != nil {
+			return nil, fmt.Errorf("stratum %d: %w", k, err)
+		}
+		res := lfpLoop(inst, nil, mode)
+		stats.Rounds += res.Stats.Rounds
+		if res.Stats.MaxDeltaTuples > stats.MaxDeltaTuples {
+			stats.MaxDeltaTuples = res.Stats.MaxDeltaTuples
+		}
+		for pred, rel := range res.State {
+			work.Set(pred, rel)
+			final[pred] = rel
+		}
+	}
+	stats.Tuples = final.Total()
+	return &Result{State: final, Stats: stats, Universe: work.Universe()}, nil
+}

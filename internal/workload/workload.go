@@ -1,0 +1,141 @@
+// Package workload provides the seeded, reproducible instance
+// generators the experiments run on: random k-SAT at a chosen clause
+// ratio (the Theorem 1 / E2 workload), crafted unique-solution
+// instances (the Theorem 2 / E4 workload), pigeonhole formulas (hard
+// UNSAT), and forced-satisfiable instances.
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/reductions"
+)
+
+// RandomKSAT draws a uniform random k-SAT instance with nClauses
+// clauses over nVars variables (literals may repeat across a clause,
+// matching the standard fixed-clause-length model).
+func RandomKSAT(seed int64, nVars, nClauses, k int) *reductions.SATInstance {
+	rng := rand.New(rand.NewSource(seed))
+	inst := &reductions.SATInstance{NumVars: nVars}
+	for i := 0; i < nClauses; i++ {
+		c := make([]int, k)
+		for j := range c {
+			v := rng.Intn(nVars) + 1
+			if rng.Intn(2) == 0 {
+				v = -v
+			}
+			c[j] = v
+		}
+		inst.Clauses = append(inst.Clauses, c)
+	}
+	return inst
+}
+
+// Random3SAT draws a random 3-SAT instance at the given clause/variable
+// ratio (4.26 is the phase-transition region).
+func Random3SAT(seed int64, nVars int, ratio float64) *reductions.SATInstance {
+	return RandomKSAT(seed, nVars, int(ratio*float64(nVars)+0.5), 3)
+}
+
+// ForcedSAT draws a random 3-SAT instance guaranteed satisfiable: a
+// hidden assignment is drawn first and every clause is patched to
+// contain at least one literal it satisfies.
+func ForcedSAT(seed int64, nVars, nClauses int) *reductions.SATInstance {
+	rng := rand.New(rand.NewSource(seed))
+	hidden := make([]bool, nVars+1)
+	for v := 1; v <= nVars; v++ {
+		hidden[v] = rng.Intn(2) == 0
+	}
+	inst := &reductions.SATInstance{NumVars: nVars}
+	for i := 0; i < nClauses; i++ {
+		c := make([]int, 3)
+		for j := range c {
+			v := rng.Intn(nVars) + 1
+			if rng.Intn(2) == 0 {
+				v = -v
+			}
+			c[j] = v
+		}
+		// Patch a random position to satisfy the hidden assignment.
+		pos := rng.Intn(3)
+		v := rng.Intn(nVars) + 1
+		if hidden[v] {
+			c[pos] = v
+		} else {
+			c[pos] = -v
+		}
+		inst.Clauses = append(inst.Clauses, c)
+	}
+	return inst
+}
+
+// UniqueSAT builds an instance with exactly one satisfying assignment:
+// a hidden assignment is fixed and each variable (in a random order)
+// is forced by a clause whose other literals are false under the
+// hidden assignment.  Uniqueness follows by induction along the order;
+// extra satisfied 3-clauses are mixed in as camouflage.
+func UniqueSAT(seed int64, nVars, extraClauses int) *reductions.SATInstance {
+	rng := rand.New(rand.NewSource(seed))
+	hidden := make([]bool, nVars+1)
+	for v := 1; v <= nVars; v++ {
+		hidden[v] = rng.Intn(2) == 0
+	}
+	order := rng.Perm(nVars)
+	litFor := func(v int, val bool) int {
+		if val {
+			return v
+		}
+		return -v
+	}
+
+	inst := &reductions.SATInstance{NumVars: nVars}
+	for idx, ord := range order {
+		v := ord + 1
+		clause := []int{litFor(v, hidden[v])}
+		// Up to two earlier variables appear with the polarity FALSE
+		// under the hidden assignment, so unit propagation forces v.
+		for j := 0; j < 2 && idx > 0; j++ {
+			w := order[rng.Intn(idx)] + 1
+			clause = append(clause, litFor(w, !hidden[w]))
+		}
+		inst.Clauses = append(inst.Clauses, clause)
+	}
+	for i := 0; i < extraClauses; i++ {
+		c := make([]int, 3)
+		for j := range c {
+			v := rng.Intn(nVars) + 1
+			if rng.Intn(2) == 0 {
+				v = -v
+			}
+			c[j] = v
+		}
+		c[rng.Intn(3)] = litFor(rng.Intn(nVars)+1, true)
+		v := rng.Intn(nVars) + 1
+		c[rng.Intn(3)] = litFor(v, hidden[v])
+		inst.Clauses = append(inst.Clauses, c)
+	}
+	return inst
+}
+
+// Pigeonhole builds PHP(pigeons, holes) as a SATInstance: variable
+// p·holes + h + 1 says pigeon p sits in hole h.  Unsatisfiable when
+// pigeons > holes.
+func Pigeonhole(pigeons, holes int) *reductions.SATInstance {
+	varOf := func(p, h int) int { return p*holes + h + 1 }
+	inst := &reductions.SATInstance{NumVars: pigeons * holes}
+	for p := 0; p < pigeons; p++ {
+		c := make([]int, holes)
+		for h := 0; h < holes; h++ {
+			c[h] = varOf(p, h)
+		}
+		inst.Clauses = append(inst.Clauses, c)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				inst.Clauses = append(inst.Clauses, []int{-varOf(p1, h), -varOf(p2, h)})
+			}
+		}
+	}
+	return inst
+}

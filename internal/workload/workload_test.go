@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomKSATShape(t *testing.T) {
+	inst := RandomKSAT(1, 10, 42, 3)
+	if inst.NumVars != 10 || len(inst.Clauses) != 42 {
+		t.Fatalf("shape: %d vars %d clauses", inst.NumVars, len(inst.Clauses))
+	}
+	for _, c := range inst.Clauses {
+		if len(c) != 3 {
+			t.Fatal("clause width != 3")
+		}
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandom3SATRatio(t *testing.T) {
+	inst := Random3SAT(7, 20, 4.26)
+	if len(inst.Clauses) != 85 { // round(20*4.26)
+		t.Errorf("clauses = %d, want 85", len(inst.Clauses))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Random3SAT(99, 12, 4.0)
+	b := Random3SAT(99, 12, 4.0)
+	if len(a.Clauses) != len(b.Clauses) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Clauses {
+		for j := range a.Clauses[i] {
+			if a.Clauses[i][j] != b.Clauses[i][j] {
+				t.Fatal("same seed produced different instances")
+			}
+		}
+	}
+	c := Random3SAT(100, 12, 4.0)
+	same := true
+	for i := range a.Clauses {
+		for j := range a.Clauses[i] {
+			if a.Clauses[i][j] != c.Clauses[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical instances")
+	}
+}
+
+func TestPropForcedSATIsSatisfiable(t *testing.T) {
+	f := func(seed int64) bool {
+		inst := ForcedSAT(seed, 8, 30)
+		return inst.CountModels() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropUniqueSATHasOneModel(t *testing.T) {
+	f := func(seed int64) bool {
+		inst := UniqueSAT(seed, 8, 6)
+		return inst.CountModels() == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	if Pigeonhole(3, 3).CountModels() == 0 {
+		t.Error("PHP(3,3) should be satisfiable")
+	}
+	if Pigeonhole(4, 3).CountModels() != 0 {
+		t.Error("PHP(4,3) should be unsatisfiable")
+	}
+	inst := Pigeonhole(4, 3)
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumVars != 12 {
+		t.Errorf("vars = %d", inst.NumVars)
+	}
+}

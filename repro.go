@@ -1,0 +1,79 @@
+// Package repro is a reproduction of "Why Not Negation by Fixpoint?"
+// by Phokion G. Kolaitis and Christos H. Papadimitriou (PODS 1988;
+// JCSS 43:125–144, 1991): a DATALOG¬ engine with the paper's operator
+// Θ, the four semantics it discusses (least fixpoint, stratified,
+// inflationary, well-founded), and SAT-backed analyses of the paper's
+// decision problems — fixpoint existence (NP, Theorem 1), unique
+// fixpoints (US, Theorem 2), least fixpoints (Theorem 3), and the
+// succinct NEXP construction (Theorem 4).
+//
+// This root package is a thin facade over the internal packages for
+// quickstart use:
+//
+//	prog, _ := repro.ParseProgram("t(X) :- e(Y,X), !t(Y).")
+//	db, _ := repro.ParseFacts("e(a,b). e(b,c).")
+//	res, _ := repro.Inflationary(prog, db)
+//	fmt.Println(res.State["t"].Format(res.Universe))
+//
+// The examples/ directory exercises the full API; cmd/bench
+// regenerates every experiment table of EXPERIMENTS.md.
+package repro
+
+import (
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/semantics"
+)
+
+// Program is a DATALOG¬ program.
+type Program = ast.Program
+
+// Database is a finite database D = (A, R₁, …, Rₗ).
+type Database = relation.Database
+
+// Result is an evaluation result.
+type Result = core.EvalResult
+
+// Report is a fixpoint-structure analysis.
+type Report = core.Report
+
+// ParseProgram parses DATALOG¬ source text, e.g.
+// "t(X) :- e(Y,X), !t(Y).".
+func ParseProgram(src string) (*Program, error) { return parser.Program(src) }
+
+// ParseFacts parses a fact file, e.g. "e(a,b). e(b,c).".
+func ParseFacts(src string) (*Database, error) { return parser.Facts(src) }
+
+// Inflationary evaluates prog on db under the paper's inflationary
+// semantics (Section 4): the inductive fixpoint of S ↦ S ∪ Θ(S).
+func Inflationary(prog *Program, db *Database) (*Result, error) {
+	return core.Eval(prog, db, core.Inflationary, semantics.SemiNaive)
+}
+
+// LeastFixpoint evaluates a positive or semipositive program under the
+// standard least-fixpoint semantics.
+func LeastFixpoint(prog *Program, db *Database) (*Result, error) {
+	return core.Eval(prog, db, core.LFP, semantics.SemiNaive)
+}
+
+// Stratified evaluates a stratifiable program under the stratified
+// semantics.
+func Stratified(prog *Program, db *Database) (*Result, error) {
+	return core.Eval(prog, db, core.Stratified, semantics.SemiNaive)
+}
+
+// WellFounded evaluates prog under the well-founded semantics; the
+// result's State holds the certainly-true facts and Result.WF the full
+// three-valued model.
+func WellFounded(prog *Program, db *Database) (*Result, error) {
+	return core.Eval(prog, db, core.WellFounded, semantics.SemiNaive)
+}
+
+// Analyze reports the fixpoint structure of (prog, db): existence,
+// count, uniqueness, and (with AnalyzeOptions.WithLeast via the core
+// package) least-fixpoint existence.
+func Analyze(prog *Program, db *Database) (*Report, error) {
+	return core.Analyze(prog, db, core.AnalyzeOptions{})
+}

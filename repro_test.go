@@ -1,0 +1,56 @@
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	prog, err := repro.ParseProgram(`
+s(X,Y) :- e(X,Y).
+s(X,Y) :- e(X,Z), s(Z,Y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := repro.ParseFacts("e(a,b). e(b,c).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, eval := range map[string]func(*repro.Program, *repro.Database) (*repro.Result, error){
+		"inflationary": repro.Inflationary,
+		"lfp":          repro.LeastFixpoint,
+		"stratified":   repro.Stratified,
+		"wellfounded":  repro.WellFounded,
+	} {
+		res, err := eval(prog, db)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.State["s"].Len() != 3 {
+			t.Errorf("%s: |s| = %d, want 3", name, res.State["s"].Len())
+		}
+	}
+}
+
+func TestFacadeAnalyze(t *testing.T) {
+	prog, _ := repro.ParseProgram("t(X) :- e(Y,X), !t(Y).")
+	db, _ := repro.ParseFacts("e(v1,v2). e(v2,v3). e(v3,v1).") // odd cycle
+	rep, err := repro.Analyze(prog, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Exists || rep.Count != 0 {
+		t.Errorf("odd cycle should have no fixpoint: %+v", rep)
+	}
+}
+
+func ExampleInflationary() {
+	prog, _ := repro.ParseProgram("t(X) :- e(Y,X), !t(Y).")
+	db, _ := repro.ParseFacts("e(a,b). e(b,c).")
+	res, _ := repro.Inflationary(prog, db)
+	fmt.Println(res.State["t"].Format(res.Universe))
+	// Output: {(b), (c)}
+}
