@@ -1,0 +1,39 @@
+# Local targets mirroring the CI jobs in .github/workflows/ci.yml, so
+# local runs and CI stay in lockstep.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt fmt-check bench bench-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/engine ./internal/relation
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
+
+# Full benchmark sweep (slow): every experiment series.
+bench:
+	$(GO) test -run '^$$' -bench . .
+
+# The CI smoke variant: one iteration of the E1/E5 series plus a quick
+# experiment run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'E1|E5' -benchtime 1x . | tee bench-smoke.txt
+	$(GO) run ./cmd/bench -quick -exp E1 | tee -a bench-smoke.txt
+
+ci: vet fmt-check build test race bench-smoke

@@ -16,16 +16,19 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "run a single experiment (E1..E12)")
-		quick = flag.Bool("quick", false, "shorten parameter sweeps")
-		list  = flag.Bool("list", false, "list experiments")
+		exp     = flag.String("exp", "", "run a single experiment (E1..E12)")
+		quick   = flag.Bool("quick", false, "shorten parameter sweeps")
+		list    = flag.Bool("list", false, "list experiments")
+		workers = flag.Int("workers", 0, "Θ evaluation worker-pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	engine.SetDefaultWorkers(*workers)
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -1,14 +1,33 @@
 package engine
 
-import "repro/internal/relation"
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
 
-// evalCtx carries the relation sources for one rule evaluation: posRel
-// resolves the i-th positive literal, negRel the i-th negated literal.
+	"repro/internal/relation"
+)
+
+// evalCtx carries the relation sources for one rule evaluation: pos[i]
+// resolves the i-th positive literal, neg[i] the i-th negated literal.
+// The relations are resolved once per rule evaluation — they cannot
+// change mid-rule — so the join loop never goes through a predicate
+// map.  headBuf and negBuf are scratch tuples reused across emissions
+// so the hot path allocates only when a genuinely new tuple is stored.
 type evalCtx struct {
-	posRel func(i int) *relation.Relation
-	negRel func(i int) *relation.Relation
-	out    *relation.Relation
-	usize  int
+	pos     []*relation.Relation
+	neg     []*relation.Relation
+	out     *relation.Relation
+	usize   int
+	headBuf relation.Tuple
+	negBuf  relation.Tuple
+}
+
+// evalTask is one unit of parallel work: a rule plan plus an optional
+// semi-naive positive-literal override.
+type evalTask struct {
+	rp       *rulePlan
+	override map[int]State
 }
 
 // Apply computes Θ(S̄): the relations derived from the database and s by
@@ -21,12 +40,17 @@ func (in *Instance) Apply(s State) State { return in.ApplySplit(s, s) }
 // fixed it is the monotone operator whose least fixpoint is the
 // Gelfond–Lifschitz style Γ(neg) used by the well-founded alternating
 // fixpoint.
+//
+// Rule plans are evaluated concurrently across a worker pool (see
+// SetWorkers); each worker derives into a private state and the
+// per-worker states are merged by set union at the end, so the result
+// is identical to sequential evaluation.
 func (in *Instance) ApplySplit(pos, neg State) State {
-	out := in.NewState()
-	for _, rp := range in.plans {
-		in.evalRule(rp, pos, neg, out, nil)
+	tasks := make([]evalTask, len(in.plans))
+	for i, rp := range in.plans {
+		tasks[i] = evalTask{rp: rp}
 	}
-	return out
+	return in.runTasks(tasks, pos, neg)
 }
 
 // ApplyDelta computes the subset of Θ(cur) derivable by rule
@@ -40,9 +64,10 @@ func (in *Instance) ApplyDelta(old, delta, cur State) State {
 }
 
 // ApplyDeltaSplit is ApplyDelta with negated IDB literals evaluated
-// against an explicit state neg instead of cur.
+// against an explicit state neg instead of cur.  Like ApplySplit, the
+// (rule, variant) pairs run concurrently on the worker pool.
 func (in *Instance) ApplyDeltaSplit(old, delta, cur, neg State) State {
-	out := in.NewState()
+	var tasks []evalTask
 	for _, rp := range in.plans {
 		if len(rp.posIDB) == 0 {
 			continue
@@ -63,10 +88,94 @@ func (in *Instance) ApplyDeltaSplit(old, delta, cur, neg State) State {
 					variant[litIdx] = cur
 				}
 			}
-			in.evalRule(rp, cur, neg, out, variant)
+			tasks = append(tasks, evalTask{rp: rp, override: variant})
 		}
 	}
+	return in.runTasks(tasks, cur, neg)
+}
+
+// runTasks evaluates every task against (pos, neg) and returns the
+// union of their derivations.  With more than one task and more than
+// one configured worker, tasks are distributed over a pool of
+// goroutines, each deriving into a private output state; because the
+// final merge is a union of sets, the result is bit-exact regardless
+// of worker count or scheduling order.  Input states are only read:
+// lazy index construction inside Relation is internally synchronized.
+func (in *Instance) runTasks(tasks []evalTask, pos, neg State) State {
+	nw := in.Workers()
+	if nw > len(tasks) {
+		nw = len(tasks)
+	}
+	if nw <= 1 {
+		out := in.NewState()
+		for _, t := range tasks {
+			in.evalRule(t.rp, pos, neg, out, t.override)
+		}
+		return out
+	}
+
+	outs := make([]State, nw)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func(w int) {
+			defer wg.Done()
+			out := in.NewState()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					break
+				}
+				in.evalRule(tasks[i].rp, pos, neg, out, tasks[i].override)
+			}
+			outs[w] = out
+		}(w)
+	}
+	wg.Wait()
+
+	out := outs[0]
+	for _, o := range outs[1:] {
+		out.UnionWith(o)
+	}
 	return out
+}
+
+// defaultWorkers is the process-wide worker-pool default applied to
+// instances that never called SetWorkers; 0 means GOMAXPROCS.  It lets
+// drivers like cmd/bench pin the parallelism of instances they do not
+// construct themselves.
+var defaultWorkers atomic.Int32
+
+// SetDefaultWorkers sets the process-wide default worker-pool size for
+// instances without an explicit SetWorkers; n ≤ 0 restores GOMAXPROCS.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int32(n))
+}
+
+// Workers returns the effective worker-pool size: the value set with
+// SetWorkers, else the process default, else runtime.GOMAXPROCS(0).
+func (in *Instance) Workers() int {
+	if in.nworkers > 0 {
+		return in.nworkers
+	}
+	if d := defaultWorkers.Load(); d > 0 {
+		return int(d)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers fixes the worker-pool size used by ApplySplit and
+// ApplyDeltaSplit; n ≤ 0 restores the default (GOMAXPROCS).  Parallel
+// and sequential evaluation produce identical states.
+func (in *Instance) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	in.nworkers = n
 }
 
 // IsFixpoint reports whether Θ(S̄) = S̄, i.e. whether s is a fixpoint of
@@ -80,28 +189,40 @@ func (in *Instance) IsFixpoint(s State) bool {
 // the state used by specific positive literal indices (the semi-naive
 // variants).
 func (in *Instance) evalRule(rp *rulePlan, posState, negState State, out State, posOverride map[int]State) {
+	maxNeg := 0
+	for _, np := range rp.negatives {
+		if len(np.slots) > maxNeg {
+			maxNeg = len(np.slots)
+		}
+	}
 	ctx := &evalCtx{
-		usize: in.db.Universe().Size(),
-		out:   out[rp.headPred],
-		posRel: func(i int) *relation.Relation {
-			lp := rp.positives[i]
-			if !lp.idb {
-				return in.edbRel(lp.pred)
-			}
+		usize:   in.db.Universe().Size(),
+		out:     out[rp.headPred],
+		headBuf: make(relation.Tuple, len(rp.headSlots)),
+		negBuf:  make(relation.Tuple, maxNeg),
+		pos:     make([]*relation.Relation, len(rp.positives)),
+		neg:     make([]*relation.Relation, len(rp.negatives)),
+	}
+	for i, lp := range rp.positives {
+		switch {
+		case !lp.idb:
+			ctx.pos[i] = in.edbRel(lp.pred)
+		default:
+			st := posState
 			if posOverride != nil {
-				if st, ok := posOverride[i]; ok {
-					return st[lp.pred]
+				if ov, ok := posOverride[i]; ok {
+					st = ov
 				}
 			}
-			return posState[lp.pred]
-		},
-		negRel: func(i int) *relation.Relation {
-			np := rp.negatives[i]
-			if !np.idb {
-				return in.edbRel(np.pred)
-			}
-			return negState[np.pred]
-		},
+			ctx.pos[i] = st[lp.pred]
+		}
+	}
+	for i, np := range rp.negatives {
+		if !np.idb {
+			ctx.neg[i] = in.edbRel(np.pred)
+		} else {
+			ctx.neg[i] = negState[np.pred]
+		}
 	}
 	binding := make([]int, rp.nvars)
 	for i := range binding {
@@ -123,7 +244,9 @@ func slotValue(s slot, binding []int) int {
 // emitting head tuples into ctx.out.
 func (in *Instance) run(rp *rulePlan, ctx *evalCtx, si int, binding []int) {
 	if si == len(rp.steps) {
-		t := make(relation.Tuple, len(rp.headSlots))
+		// Fill the scratch head buffer; Relation.Add copies it only
+		// when the tuple is actually new.
+		t := ctx.headBuf
 		for i, s := range rp.headSlots {
 			t[i] = slotValue(s, binding)
 		}
@@ -166,11 +289,13 @@ func (in *Instance) run(rp *rulePlan, ctx *evalCtx, si int, binding []int) {
 
 	case stepNeg:
 		np := rp.negatives[st.idx]
-		t := make(relation.Tuple, len(np.slots))
+		// The scratch buffer is fully consumed by Has before any
+		// deeper step reuses it.
+		t := ctx.negBuf[:len(np.slots)]
 		for i, s := range np.slots {
 			t[i] = slotValue(s, binding)
 		}
-		if !ctx.negRel(st.idx).Has(t) {
+		if !ctx.neg[st.idx].Has(t) {
 			in.run(rp, ctx, si+1, binding)
 		}
 	}
@@ -180,7 +305,7 @@ func (in *Instance) run(rp *rulePlan, ctx *evalCtx, si int, binding []int) {
 // extending the binding consistently for each match.
 func (in *Instance) runJoin(rp *rulePlan, ctx *evalCtx, si int, binding []int) {
 	lp := rp.positives[rp.steps[si].idx]
-	rel := ctx.posRel(rp.steps[si].idx)
+	rel := ctx.pos[rp.steps[si].idx]
 	if rel.Empty() {
 		return
 	}
@@ -227,8 +352,8 @@ func (in *Instance) runJoin(rp *rulePlan, ctx *evalCtx, si int, binding []int) {
 	}
 
 	if col >= 0 {
-		for _, t := range rel.Index(col)[val] {
-			match(t)
+		for _, off := range rel.Lookup(col, val) {
+			match(rel.At(off))
 		}
 		return
 	}

@@ -77,6 +77,9 @@ type Instance struct {
 	idb     map[string]bool
 	plans   []*rulePlan
 	empties map[int]*relation.Relation // canonical empty relation per arity
+	// nworkers is the worker-pool size for ApplySplit/ApplyDeltaSplit;
+	// 0 means GOMAXPROCS.  See SetWorkers.
+	nworkers int
 }
 
 // New compiles prog against db.  It returns an error if the program
@@ -100,6 +103,14 @@ func New(prog *ast.Program, db *relation.Database) (*Instance, error) {
 		arities: arities,
 		idb:     prog.IDB(),
 		empties: make(map[int]*relation.Relation),
+	}
+	// Canonical empty relations are precomputed for every program
+	// arity: edbRel runs concurrently on the evaluation worker pool,
+	// so it must never mutate instance state.
+	for _, ar := range arities {
+		if _, ok := in.empties[ar]; !ok {
+			in.empties[ar] = relation.New(ar)
+		}
 	}
 	for _, r := range prog.Rules {
 		in.plans = append(in.plans, in.compile(r))
@@ -156,23 +167,14 @@ func (in *Instance) FullState() State {
 	return s
 }
 
-// empty returns the canonical empty relation of the given arity.
-func (in *Instance) empty(arity int) *relation.Relation {
-	if r, ok := in.empties[arity]; ok {
-		return r
-	}
-	r := relation.New(arity)
-	in.empties[arity] = r
-	return r
-}
-
 // edbRel returns the database relation for an EDB predicate, or a
-// canonical empty relation if the database does not mention it.
+// canonical empty relation if the database does not mention it.  It is
+// called from evaluation workers and therefore only reads.
 func (in *Instance) edbRel(pred string) *relation.Relation {
 	if r := in.db.Relation(pred); r != nil {
 		return r
 	}
-	return in.empty(in.arities[pred])
+	return in.empties[in.arities[pred]]
 }
 
 // compile builds the evaluation plan for one rule.

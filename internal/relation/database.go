@@ -10,6 +10,10 @@ import (
 // named relations.  The same type stores both EDB (database) relations
 // and computed IDB relations; the split between the two is a property
 // of a program, not of the data.
+//
+// Like Relation, a Database may be read by any number of goroutines
+// concurrently (the evaluation engine's worker pool does), but
+// mutation requires exclusive access.
 type Database struct {
 	univ  *Universe
 	rels  map[string]*Relation

@@ -1,0 +1,102 @@
+package relation
+
+import "encoding/binary"
+
+// Packed tuple keys.
+//
+// A Relation stores membership as a hash set keyed by a compact integer
+// encoding of each tuple rather than by a string, so the Θ hot path
+// (Has/Add during rule evaluation) performs no per-tuple string
+// allocation.  For a tuple of arity k ≥ 1 the packed encoding assigns
+// each element ⌊64/k⌋ bits of a single uint64; a tuple packs iff every
+// element is non-negative and fits in that width.  Within a fixed arity
+// the encoding is injective: the key is the fixed-width concatenation
+// of the elements.  Universe ids are dense and start at 0 (see
+// Universe), so for the common arities the packed form covers huge
+// universes: arity 1 ≈ unbounded, arity 2 up to 2³² constants, arity 3
+// up to 2²¹, arity 4 up to 2¹⁶.
+//
+// Tuples that do not pack (wide arities or ids beyond the width) spill
+// to a secondary map keyed by a compact byte-string encoding: 4 bytes
+// per element big-endian when every element fits in a uint32, 8 bytes
+// otherwise.  The two widths yield different key lengths for the same
+// arity, and a given tuple always encodes the same way, so packed and
+// spilled tuples can never be confused: each tuple deterministically
+// belongs to exactly one of the two maps.
+
+// PackedCapacity returns the largest universe size whose tuples of the
+// given arity always take the packed uint64 path; 0 means unbounded.
+// Larger universes still work — their tuples spill to the byte-string
+// encoding — but lose the allocation-free membership test.
+func PackedCapacity(arity int) int {
+	bits := packBits(arity)
+	if bits >= 63 {
+		return 0
+	}
+	c := uint64(1) << bits
+	if c > uint64(^uint(0)>>1) {
+		// Wider than this platform's int (e.g. arity 2 on 32-bit):
+		// every representable id fits, so the packed path is unbounded.
+		return 0
+	}
+	return int(c)
+}
+
+// packBits returns the per-element bit width of the packed encoding for
+// the given arity.
+func packBits(arity int) uint {
+	if arity <= 0 {
+		return 64
+	}
+	return uint(64 / arity)
+}
+
+// packKey returns the packed uint64 key for t and true, or 0 and false
+// when t does not fit the packed encoding and must spill.
+func packKey(t Tuple) (uint64, bool) {
+	k := len(t)
+	if k == 0 {
+		return 0, true
+	}
+	bits := packBits(k)
+	if bits >= 63 {
+		// Arity 1: any non-negative int packs.
+		if t[0] < 0 {
+			return 0, false
+		}
+		return uint64(t[0]), true
+	}
+	limit := uint64(1) << bits
+	var key uint64
+	for _, v := range t {
+		if v < 0 || uint64(v) >= limit {
+			return 0, false
+		}
+		key = key<<bits | uint64(v)
+	}
+	return key, true
+}
+
+// spillKey returns the byte-string fallback key for tuples that do not
+// pack into a uint64.
+func spillKey(t Tuple) string {
+	wide := false
+	for _, v := range t {
+		if v < 0 || uint64(v) > 0xFFFFFFFF {
+			wide = true
+			break
+		}
+	}
+	if wide {
+		buf := make([]byte, 8*len(t))
+		for i, v := range t {
+			binary.BigEndian.PutUint64(buf[8*i:], uint64(v))
+		}
+		return string(buf)
+	}
+	buf := make([]byte, 4*len(t))
+	for i, v := range t {
+		binary.BigEndian.PutUint32(buf[4*i:], uint32(v))
+	}
+	return string(buf)
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Relation is a finite set of tuples of a fixed arity.  Arity 0 is
@@ -11,13 +13,28 @@ import (
 // single empty tuple ("true"); the paper's toggle constructions never
 // need it but the engine supports it uniformly.
 //
-// Relations maintain lazily built per-column hash indexes used by the
-// evaluation engine's join plans; indexes are invalidated on mutation.
+// Storage is a flat arena of tuples in insertion order plus a hash set
+// of packed integer keys (see key.go) mapping each tuple to its arena
+// offset — no per-tuple string allocation on the evaluation hot path.
+// Per-column hash indexes map a column value to arena offsets; they are
+// built lazily on first lookup and invalidated on mutation.
+//
+// Concurrency: any number of goroutines may read a relation (Has, Each,
+// Lookup, At, ...) concurrently — lazy index construction is internally
+// synchronized — but mutation requires exclusive access, as before.
 type Relation struct {
-	arity   int
-	tuples  map[string]Tuple
-	indexes map[int]map[int][]Tuple // column -> value -> tuples
+	arity  int
+	arena  []Tuple          // tuples in insertion order
+	packed map[uint64]int32 // packed key -> arena offset
+	spill  map[string]int32 // fallback key -> arena offset (wide/huge tuples)
+
+	mu  sync.Mutex                 // serializes lazy index builds
+	idx atomic.Pointer[[]colIndex] // per-column indexes, nil until built
 }
+
+// colIndex maps a column value to the arena offsets of the tuples
+// holding that value in the column.
+type colIndex map[int][]int32
 
 // New returns an empty relation of the given arity.  It panics on a
 // negative arity.
@@ -25,7 +42,7 @@ func New(arity int) *Relation {
 	if arity < 0 {
 		panic(fmt.Sprintf("relation: negative arity %d", arity))
 	}
-	return &Relation{arity: arity, tuples: make(map[string]Tuple)}
+	return &Relation{arity: arity, packed: make(map[uint64]int32)}
 }
 
 // FromTuples builds a relation of the given arity from tuples.  Tuples
@@ -42,23 +59,60 @@ func FromTuples(arity int, tuples []Tuple) *Relation {
 func (r *Relation) Arity() int { return r.arity }
 
 // Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.tuples) }
+func (r *Relation) Len() int { return len(r.arena) }
 
 // Empty reports whether the relation has no tuples.
-func (r *Relation) Empty() bool { return len(r.tuples) == 0 }
+func (r *Relation) Empty() bool { return len(r.arena) == 0 }
+
+// offsetOf returns the arena offset of t, or -1 if absent.
+func (r *Relation) offsetOf(t Tuple) int32 {
+	if k, ok := packKey(t); ok {
+		if off, ok := r.packed[k]; ok {
+			return off
+		}
+		return -1
+	}
+	if off, ok := r.spill[spillKey(t)]; ok {
+		return off
+	}
+	return -1
+}
 
 // Add inserts t, reporting whether it was new.  It panics if the arity
-// of t does not match the relation's.
+// of t does not match the relation's.  The tuple is copied, so callers
+// may reuse the backing slice; duplicates are rejected before the copy,
+// so re-adding existing tuples does not allocate.
 func (r *Relation) Add(t Tuple) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("relation: adding tuple of arity %d to relation of arity %d", len(t), r.arity))
 	}
-	k := t.Key()
-	if _, ok := r.tuples[k]; ok {
+	if !r.insertKey(t) {
 		return false
 	}
-	r.tuples[k] = t.Clone()
-	r.indexes = nil
+	r.arena = append(r.arena, t.Clone())
+	r.invalidate()
+	return true
+}
+
+// insertKey records t's key at the next arena offset, reporting false
+// on duplicate.  The caller appends the tuple itself.
+func (r *Relation) insertKey(t Tuple) bool {
+	off := int32(len(r.arena))
+	if k, ok := packKey(t); ok {
+		if _, dup := r.packed[k]; dup {
+			return false
+		}
+		r.packed[k] = off
+		return true
+	}
+	sk := spillKey(t)
+	if _, dup := r.spill[sk]; dup {
+		return false
+	}
+	if r.spill == nil {
+		r.spill = make(map[string]int32)
+	}
+	r.spill[sk] = off
 	return true
 }
 
@@ -67,71 +121,115 @@ func (r *Relation) Has(t Tuple) bool {
 	if len(t) != r.arity {
 		return false
 	}
-	_, ok := r.tuples[t.Key()]
-	return ok
+	return r.offsetOf(t) >= 0
 }
 
-// Remove deletes t, reporting whether it was present.
+// Remove deletes t, reporting whether it was present.  The arena stays
+// dense: the last tuple is swapped into the vacated slot.
 func (r *Relation) Remove(t Tuple) bool {
-	k := t.Key()
-	if _, ok := r.tuples[k]; !ok {
+	if len(t) != r.arity {
 		return false
 	}
-	delete(r.tuples, k)
-	r.indexes = nil
+	off := r.offsetOf(t)
+	if off < 0 {
+		return false
+	}
+	r.deleteKey(r.arena[off])
+	last := int32(len(r.arena) - 1)
+	if off != last {
+		moved := r.arena[last]
+		r.arena[off] = moved
+		if k, ok := packKey(moved); ok {
+			r.packed[k] = off
+		} else {
+			r.spill[spillKey(moved)] = off
+		}
+	}
+	r.arena[last] = nil
+	r.arena = r.arena[:last]
+	r.invalidate()
 	return true
+}
+
+// invalidate drops cached indexes after a mutation.  The load guard
+// keeps mutation-heavy phases (which never build an index) free of the
+// atomic-store cost on every Add.
+func (r *Relation) invalidate() {
+	if r.idx.Load() != nil {
+		r.idx.Store(nil)
+	}
+}
+
+func (r *Relation) deleteKey(t Tuple) {
+	if k, ok := packKey(t); ok {
+		delete(r.packed, k)
+		return
+	}
+	delete(r.spill, spillKey(t))
 }
 
 // Tuples returns all tuples in deterministic (sorted) order.
 func (r *Relation) Tuples() []Tuple {
-	out := make([]Tuple, 0, len(r.tuples))
-	for _, t := range r.tuples {
-		out = append(out, t)
-	}
+	out := make([]Tuple, len(r.arena))
+	copy(out, r.arena)
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out
 }
 
-// Each calls f for every tuple in unspecified order until f returns
+// Each calls f for every tuple in insertion order until f returns
 // false.  It must not mutate the relation.
 func (r *Relation) Each(f func(Tuple) bool) {
-	for _, t := range r.tuples {
+	for _, t := range r.arena {
 		if !f(t) {
 			return
 		}
 	}
 }
 
+// At returns the tuple at the given arena offset, as returned by
+// Lookup.  Callers must not mutate it.
+func (r *Relation) At(off int32) Tuple { return r.arena[off] }
+
 // Clone returns a deep copy (indexes are not copied; they rebuild on
-// demand).
+// demand).  Tuples themselves are shared: they are immutable by
+// contract.
 func (r *Relation) Clone() *Relation {
-	c := New(r.arity)
-	for k, t := range r.tuples {
-		c.tuples[k] = t
+	c := &Relation{
+		arity:  r.arity,
+		arena:  make([]Tuple, len(r.arena)),
+		packed: make(map[uint64]int32, len(r.packed)),
+	}
+	copy(c.arena, r.arena)
+	for k, off := range r.packed {
+		c.packed[k] = off
+	}
+	if len(r.spill) > 0 {
+		c.spill = make(map[string]int32, len(r.spill))
+		for k, off := range r.spill {
+			c.spill[k] = off
+		}
 	}
 	return c
 }
 
-// Equal reports whether r and o contain exactly the same tuples.
+// Equal reports whether r and o contain exactly the same tuples: equal
+// cardinality plus one-way containment suffices for sets.
 func (r *Relation) Equal(o *Relation) bool {
-	if r.arity != o.arity || len(r.tuples) != len(o.tuples) {
-		return false
-	}
-	for k := range r.tuples {
-		if _, ok := o.tuples[k]; !ok {
-			return false
-		}
-	}
-	return true
+	return r.arity == o.arity && len(r.arena) == len(o.arena) && r.SubsetOf(o)
 }
 
 // SubsetOf reports whether every tuple of r is in o.
 func (r *Relation) SubsetOf(o *Relation) bool {
-	if r.arity != o.arity || len(r.tuples) > len(o.tuples) {
+	if r.arity != o.arity || len(r.arena) > len(o.arena) {
 		return false
 	}
-	for k := range r.tuples {
-		if _, ok := o.tuples[k]; !ok {
+	for k := range r.packed {
+		if _, ok := o.packed[k]; !ok {
+			return false
+		}
+	}
+	for k := range r.spill {
+		if _, ok := o.spill[k]; !ok {
 			return false
 		}
 	}
@@ -145,16 +243,28 @@ func (r *Relation) UnionWith(o *Relation) int {
 		panic(fmt.Sprintf("relation: union of arities %d and %d", r.arity, o.arity))
 	}
 	added := 0
-	for k, t := range o.tuples {
-		if _, ok := r.tuples[k]; !ok {
-			r.tuples[k] = t
+	for _, t := range o.arena {
+		// Tuples already owned by a relation are immutable; insert
+		// without re-cloning.
+		if r.addOwned(t) {
 			added++
 		}
 	}
 	if added > 0 {
-		r.indexes = nil
+		r.invalidate()
 	}
 	return added
+}
+
+// addOwned inserts t without copying it.  The caller must guarantee t
+// is never mutated afterwards.  It does not invalidate indexes; bulk
+// callers do that once.
+func (r *Relation) addOwned(t Tuple) bool {
+	if !r.insertKey(t) {
+		return false
+	}
+	r.arena = append(r.arena, t)
+	return true
 }
 
 // Union returns a fresh relation with the tuples of both r and o.
@@ -174,9 +284,9 @@ func (r *Relation) Intersect(o *Relation) *Relation {
 	if large.Len() < small.Len() {
 		small, large = large, small
 	}
-	for k, t := range small.tuples {
-		if _, ok := large.tuples[k]; ok {
-			c.tuples[k] = t
+	for _, t := range small.arena {
+		if large.offsetOf(t) >= 0 {
+			c.addOwned(t)
 		}
 	}
 	return c
@@ -188,34 +298,49 @@ func (r *Relation) Diff(o *Relation) *Relation {
 		panic(fmt.Sprintf("relation: diff of arities %d and %d", r.arity, o.arity))
 	}
 	c := New(r.arity)
-	for k, t := range r.tuples {
-		if _, ok := o.tuples[k]; !ok {
-			c.tuples[k] = t
+	for _, t := range r.arena {
+		if o.offsetOf(t) < 0 {
+			c.addOwned(t)
 		}
 	}
 	return c
 }
 
-// Index returns a hash index on the given column: a map from value to
-// the tuples having that value in the column.  The index is built
+// cols returns the per-column indexes, building all of them on first
+// use.  The build is synchronized so concurrent readers are safe; the
+// arity is small in practice, so building every column at once costs
+// about as much as building one.
+func (r *Relation) cols() []colIndex {
+	if p := r.idx.Load(); p != nil {
+		return *p
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p := r.idx.Load(); p != nil {
+		return *p
+	}
+	cols := make([]colIndex, r.arity)
+	for c := range cols {
+		cols[c] = make(colIndex)
+	}
+	for off, t := range r.arena {
+		for c, v := range t {
+			cols[c][v] = append(cols[c][v], int32(off))
+		}
+	}
+	r.idx.Store(&cols)
+	return cols
+}
+
+// Lookup returns the arena offsets of the tuples whose col-th element
+// equals val; resolve them with At.  The underlying index is built
 // lazily and cached until the next mutation.  Callers must not mutate
-// the returned map or slices.
-func (r *Relation) Index(col int) map[int][]Tuple {
+// the returned slice.  Safe for concurrent use by readers.
+func (r *Relation) Lookup(col, val int) []int32 {
 	if col < 0 || col >= r.arity {
 		panic(fmt.Sprintf("relation: index column %d out of range for arity %d", col, r.arity))
 	}
-	if r.indexes == nil {
-		r.indexes = make(map[int]map[int][]Tuple)
-	}
-	if idx, ok := r.indexes[col]; ok {
-		return idx
-	}
-	idx := make(map[int][]Tuple)
-	for _, t := range r.tuples {
-		idx[t[col]] = append(idx[t[col]], t)
-	}
-	r.indexes[col] = idx
-	return idx
+	return r.cols()[col][val]
 }
 
 // Format renders the relation's tuples with constant names from u, in

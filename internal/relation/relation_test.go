@@ -204,17 +204,18 @@ func TestRelationUnionWithCount(t *testing.T) {
 
 func TestRelationIndex(t *testing.T) {
 	r := FromTuples(2, []Tuple{{1, 2}, {1, 3}, {2, 3}})
-	idx := r.Index(0)
-	if len(idx[1]) != 2 || len(idx[2]) != 1 {
-		t.Errorf("Index(0) wrong: %v", idx)
+	if got := len(r.Lookup(0, 1)); got != 2 {
+		t.Errorf("Lookup(0,1) = %d entries", got)
 	}
-	idx1 := r.Index(1)
-	if len(idx1[3]) != 2 {
-		t.Errorf("Index(1) wrong: %v", idx1)
+	if got := len(r.Lookup(0, 2)); got != 1 {
+		t.Errorf("Lookup(0,2) = %d entries", got)
+	}
+	if got := len(r.Lookup(1, 3)); got != 2 {
+		t.Errorf("Lookup(1,3) = %d entries", got)
 	}
 	// Mutation invalidates the cache.
 	r.Add(Tuple{1, 9})
-	if got := len(r.Index(0)[1]); got != 3 {
+	if got := len(r.Lookup(0, 1)); got != 3 {
 		t.Errorf("stale index after Add: %d", got)
 	}
 }
@@ -362,18 +363,18 @@ func TestPropIndexConsistent(t *testing.T) {
 			r.Add(Tuple{rng.Intn(6), rng.Intn(6)})
 		}
 		for col := 0; col < 2; col++ {
-			idx := r.Index(col)
 			total := 0
-			for v, ts := range idx {
-				for _, tu := range ts {
+			for v := 0; v < 6; v++ {
+				for _, off := range r.Lookup(col, v) {
+					tu := r.At(off)
 					if tu[col] != v {
 						return false
 					}
 					if !r.Has(tu) {
 						return false
 					}
+					total++
 				}
-				total += len(ts)
 			}
 			if total != r.Len() {
 				return false

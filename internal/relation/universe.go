@@ -19,6 +19,11 @@ import (
 // the finite universe A of a database: every value that can appear in a
 // tuple is an element of the universe.  The zero value is not usable;
 // create universes with NewUniverse.
+//
+// Density matters beyond hygiene: Relation's packed tuple keys devote
+// ⌊64/arity⌋ bits to each element (see PackedCapacity), so ids assigned
+// compactly from 0 keep every realistic universe on the allocation-free
+// fast path.
 type Universe struct {
 	names []string
 	index map[string]int
