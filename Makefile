@@ -36,4 +36,16 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'E1|E5' -benchtime 1x . | tee bench-smoke.txt
 	$(GO) run ./cmd/bench -quick -exp E1 | tee -a bench-smoke.txt
 
+# Local mirror of the CI benchstat gate: compare the E8/E10 series on
+# BASE (default HEAD~1) against the working tree, failing on >15%
+# median regressions.
+BASE ?= HEAD~1
+bench-compare:
+	rm -rf /tmp/bench-base && git worktree prune
+	git worktree add /tmp/bench-base $(BASE)
+	cd /tmp/bench-base && $(GO) test -run '^$$' -bench 'E8Inflationary|E10Distance' -benchtime 100ms -count 7 . > /tmp/bench-base.txt
+	$(GO) test -run '^$$' -bench 'E8Inflationary|E10Distance' -benchtime 100ms -count 7 . > /tmp/bench-head.txt
+	$(GO) run ./scripts/benchdiff -threshold 15 /tmp/bench-base.txt /tmp/bench-head.txt
+	git worktree remove --force /tmp/bench-base
+
 ci: vet fmt-check build test race bench-smoke

@@ -9,6 +9,7 @@
 //	bench            # run everything (full sweeps)
 //	bench -exp E7    # one experiment
 //	bench -quick     # shortened sweeps
+//	bench -explain   # print the join-heavy workloads' evaluation plans
 package main
 
 import (
@@ -18,18 +19,36 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/parser"
+	"repro/internal/semantics"
+	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "run a single experiment (E1..E12)")
+		exp     = flag.String("exp", "", "run a single experiment (E1..E13)")
 		quick   = flag.Bool("quick", false, "shorten parameter sweeps")
 		list    = flag.Bool("list", false, "list experiments")
 		workers = flag.Int("workers", 0, "Θ evaluation worker-pool size (0 = GOMAXPROCS)")
+		planner = flag.Bool("planner", true, "cost-based join planning (false = syntactic literal order)")
+		explain = flag.Bool("explain", false, "print per-rule evaluation plans for the join-heavy workloads and exit")
 	)
 	flag.Parse()
 	engine.SetDefaultWorkers(*workers)
+	engine.SetDefaultCostPlanner(*planner)
 
+	if *explain {
+		// Steady-state plans: evaluate first, then plan against the
+		// fixpoint's relation sizes (what most rounds see).
+		for _, wl := range workload.JoinWorkloads(*quick) {
+			in := engine.MustNew(parser.MustProgram(wl.Src), wl.DB())
+			res := semantics.Inflationary(in)
+			fmt.Printf("=== %s (plans at fixpoint)\n", wl.Name)
+			in.Explain(os.Stdout, res.State)
+			fmt.Println()
+		}
+		return
+	}
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-4s %s  [%s]\n", e.ID, e.Title, e.Source)

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	datalog -program tc.dl -facts graph.dl [-semantics inflationary] [-mode seminaive] [-stats]
+//	datalog -program tc.dl -facts graph.dl [-semantics inflationary] [-mode seminaive] [-stats] [-explain]
 //
 // Semantics: inflationary (default, the paper's Section 4 proposal),
 // lfp (positive/semipositive programs), stratified, wellfounded.
@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/parser"
 	"repro/internal/semantics"
 )
@@ -26,6 +27,8 @@ func main() {
 		semName     = flag.String("semantics", "inflationary", "inflationary|lfp|stratified|wellfounded")
 		modeName    = flag.String("mode", "seminaive", "seminaive|naive stage evaluation")
 		stats       = flag.Bool("stats", false, "print evaluation statistics")
+		planner     = flag.Bool("planner", true, "cost-based join planning (false = syntactic literal order)")
+		explain     = flag.Bool("explain", false, "print per-rule evaluation plans at the computed fixpoint")
 	)
 	flag.Parse()
 	if *programPath == "" || *factsPath == "" {
@@ -55,9 +58,21 @@ func main() {
 		fatal(fmt.Errorf("unknown mode %q", *modeName))
 	}
 
+	engine.SetDefaultCostPlanner(*planner)
 	res, err := core.Eval(prog, db, sem, mode)
 	if err != nil {
 		fatal(err)
+	}
+	if *explain {
+		// Plans against the computed relations: the sizes (and hence
+		// join orders) most evaluation rounds saw.  The instance is
+		// built on a fresh clone, like core.Eval's own.
+		in, err := engine.New(prog, db.Clone())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("% evaluation plans at the computed fixpoint:")
+		in.Explain(os.Stdout, res.State)
 	}
 	fmt.Printf("%% class: %v, semantics: %v\n", res.Class, res.Semantics)
 	for _, pred := range res.State.Preds() {

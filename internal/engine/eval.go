@@ -224,11 +224,15 @@ func (in *Instance) evalRule(rp *rulePlan, posState, negState State, out State, 
 			ctx.neg[i] = negState[np.pred]
 		}
 	}
+	// Plan against the resolved relations: the planner sees the actual
+	// sizes of this task's sources (deltas included), so join orders are
+	// re-costed every round.
+	ep := buildExec(rp, ctx.pos, in.CostPlanner())
 	binding := make([]int, rp.nvars)
 	for i := range binding {
 		binding[i] = -1
 	}
-	in.run(rp, ctx, 0, binding)
+	in.run(rp, ctx, ep, 0, binding)
 }
 
 // slotValue resolves a slot under the current binding; -1 means the
@@ -242,8 +246,8 @@ func slotValue(s slot, binding []int) int {
 
 // run executes the plan from step si under the given partial binding,
 // emitting head tuples into ctx.out.
-func (in *Instance) run(rp *rulePlan, ctx *evalCtx, si int, binding []int) {
-	if si == len(rp.steps) {
+func (in *Instance) run(rp *rulePlan, ctx *evalCtx, ep *execPlan, si int, binding []int) {
+	if si == len(ep.steps) {
 		// Fill the scratch head buffer; Relation.Add copies it only
 		// when the tuple is actually new.
 		t := ctx.headBuf
@@ -253,15 +257,15 @@ func (in *Instance) run(rp *rulePlan, ctx *evalCtx, si int, binding []int) {
 		ctx.out.Add(t)
 		return
 	}
-	st := rp.steps[si]
+	st := ep.steps[si]
 	switch st.kind {
 	case stepJoin:
-		in.runJoin(rp, ctx, si, binding)
+		in.runJoin(rp, ctx, ep, si, binding)
 
 	case stepExtend:
 		for v := 0; v < ctx.usize; v++ {
 			binding[st.idx] = v
-			in.run(rp, ctx, si+1, binding)
+			in.run(rp, ctx, ep, si+1, binding)
 		}
 		binding[st.idx] = -1
 
@@ -277,14 +281,14 @@ func (in *Instance) run(rp *rulePlan, ctx *evalCtx, si int, binding []int) {
 			target, val = c.right, lv
 		}
 		binding[target.val] = val
-		in.run(rp, ctx, si+1, binding)
+		in.run(rp, ctx, ep, si+1, binding)
 		binding[target.val] = -1
 
 	case stepCmp:
 		c := rp.cmps[st.idx]
 		eq := slotValue(c.left, binding) == slotValue(c.right, binding)
 		if eq != c.neq {
-			in.run(rp, ctx, si+1, binding)
+			in.run(rp, ctx, ep, si+1, binding)
 		}
 
 	case stepNeg:
@@ -296,69 +300,72 @@ func (in *Instance) run(rp *rulePlan, ctx *evalCtx, si int, binding []int) {
 			t[i] = slotValue(s, binding)
 		}
 		if !ctx.neg[st.idx].Has(t) {
-			in.run(rp, ctx, si+1, binding)
+			in.run(rp, ctx, ep, si+1, binding)
 		}
 	}
 }
 
-// runJoin iterates the candidate tuples of a positive literal,
-// extending the binding consistently for each match.
-func (in *Instance) runJoin(rp *rulePlan, ctx *evalCtx, si int, binding []int) {
-	lp := rp.positives[rp.steps[si].idx]
-	rel := ctx.pos[rp.steps[si].idx]
+// runJoin enumerates the candidate tuples of a positive literal —
+// through the step's index probe when it has bound columns, by arena
+// scan otherwise — and extends the binding per match.  The per-tuple
+// work is the step's compiled micro-op array; together with the probe
+// this loop performs no allocation (see BenchmarkJoinAllocs).
+func (in *Instance) runJoin(rp *rulePlan, ctx *evalCtx, ep *execPlan, si int, binding []int) {
+	je := ep.steps[si].join
+	rel := ctx.pos[je.lit]
 	if rel.Empty() {
 		return
 	}
 
-	// Pick an access path: the first argument position holding a
-	// constant or an already-bound variable selects a hash index.
-	col, val := -1, 0
-	for j, s := range lp.slots {
-		if v := slotValue(s, binding); v >= 0 {
-			col, val = j, v
-			break
+	if len(je.probeCols) > 0 {
+		for i, s := range je.probeSrc {
+			je.probeVals[i] = slotValue(s, binding)
 		}
-	}
-
-	match := func(t relation.Tuple) {
-		// Check consistency and record which variables this tuple binds.
-		var bonds []int
-		ok := true
-		for j, s := range lp.slots {
-			if s.isConst {
-				if t[j] != s.val {
-					ok = false
-					break
-				}
-				continue
-			}
-			switch b := binding[s.val]; {
-			case b < 0:
-				binding[s.val] = t[j]
-				bonds = append(bonds, s.val)
-			case b != t[j]:
-				ok = false
-			}
-			if !ok {
-				break
-			}
+		var offs []int32
+		if len(je.probeCols) == 1 {
+			offs = rel.Lookup(je.probeCols[0], je.probeVals[0])
+		} else {
+			offs = rel.LookupCols(je.probeCols, je.probeVals)
 		}
-		if ok {
-			in.run(rp, ctx, si+1, binding)
-		}
-		for _, v := range bonds {
-			binding[v] = -1
-		}
-	}
-
-	if col >= 0 {
-		for _, off := range rel.Lookup(col, val) {
-			match(rel.At(off))
+		for _, off := range offs {
+			in.matchTuple(rp, ctx, ep, si, binding, je, rel.At(off))
 		}
 		return
 	}
-	rel.Each(func(t relation.Tuple) bool {
-		match(t)
-		return true
-	})
+	for off, n := int32(0), int32(rel.Len()); off < n; off++ {
+		in.matchTuple(rp, ctx, ep, si, binding, je, rel.At(off))
+	}
+}
+
+// matchTuple runs a join step's micro-ops against one candidate tuple,
+// recursing into the rest of the plan on success.  bindVars lists
+// exactly the variables the ops may bind — all unbound on entry — so
+// resetting them unconditionally afterwards is correct even when a
+// check fails midway.
+func (in *Instance) matchTuple(rp *rulePlan, ctx *evalCtx, ep *execPlan, si int, binding []int, je *joinExec, t relation.Tuple) {
+	ok := true
+	for _, op := range je.ops {
+		v := t[op.col]
+		switch op.kind {
+		case opBind:
+			binding[op.arg] = v
+		case opCheckVar:
+			if binding[op.arg] != v {
+				ok = false
+			}
+		case opCheckConst:
+			if v != int(op.arg) {
+				ok = false
+			}
+		}
+		if !ok {
+			break
+		}
+	}
+	if ok {
+		in.run(rp, ctx, ep, si+1, binding)
+	}
+	for _, v := range je.bindVars {
+		binding[v] = -1
+	}
 }

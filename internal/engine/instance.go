@@ -34,36 +34,30 @@ type cmpPlan struct {
 	left, right slot
 }
 
-// stepKind enumerates the operations of a rule's evaluation plan.
-type stepKind int
-
-const (
-	stepJoin   stepKind = iota // join the idx-th positive literal
-	stepExtend                 // enumerate the universe for variable idx
-	stepBindEq                 // bind a variable via the idx-th equality
-	stepCmp                    // check the idx-th comparison
-	stepNeg                    // check the idx-th negated literal
-)
-
-// step is one operation of a plan; idx indexes into the plan component
-// named by kind.
-type step struct {
-	kind stepKind
-	idx  int
-}
-
-// rulePlan is a rule compiled against a specific universe.
+// rulePlan is a rule compiled against a specific universe.  Ordering
+// and access-path selection are not part of the compiled form: they
+// happen per evaluation task in planner.go, where the planner can see
+// the concrete relations (and hence sizes) each literal reads.
 type rulePlan struct {
 	src       ast.Rule
 	headPred  string
 	headSlots []slot
 	nvars     int
+	varNames  []string // variable index -> source name (for Explain)
 	positives []litPlan
 	negatives []negPlan
 	cmps      []cmpPlan
-	steps     []step
 	posIDB    []int // indices into positives with IDB predicates
 }
+
+// plannerMode is the tri-state per-instance planner selector.
+type plannerMode int8
+
+const (
+	plannerDefault plannerMode = iota // follow SetDefaultCostPlanner
+	plannerOn
+	plannerOff
+)
 
 // Instance binds a validated program to a database, compiling every
 // rule into an evaluation plan.  Program constants are interned into
@@ -80,6 +74,8 @@ type Instance struct {
 	// nworkers is the worker-pool size for ApplySplit/ApplyDeltaSplit;
 	// 0 means GOMAXPROCS.  See SetWorkers.
 	nworkers int
+	// planner selects the join-planning strategy.  See SetCostPlanner.
+	planner plannerMode
 }
 
 // New compiles prog against db.  It returns an error if the program
@@ -202,6 +198,7 @@ func (in *Instance) compile(r ast.Rule) *rulePlan {
 		src:      r,
 		headPred: r.Head.Pred,
 		nvars:    len(vars),
+		varNames: vars,
 	}
 	rp.headSlots = mkSlots(r.Head)
 	for _, l := range r.Body {
@@ -223,109 +220,5 @@ func (in *Instance) compile(r ast.Rule) *rulePlan {
 			rp.posIDB = append(rp.posIDB, i)
 		}
 	}
-	rp.steps = in.planSteps(rp)
 	return rp
-}
-
-// planSteps orders the rule body into an executable step sequence:
-// greedy join order over positive literals (most-bound first), eager
-// comparison and negation checks as soon as their variables are bound,
-// equality propagation, then universe enumeration for whatever
-// variables remain.
-func (in *Instance) planSteps(rp *rulePlan) []step {
-	bound := make([]bool, rp.nvars)
-	usedPos := make([]bool, len(rp.positives))
-	usedCmp := make([]bool, len(rp.cmps))
-	usedNeg := make([]bool, len(rp.negatives))
-	var steps []step
-
-	slotBound := func(s slot) bool { return s.isConst || bound[s.val] }
-	allBound := func(slots []slot) bool {
-		for _, s := range slots {
-			if !slotBound(s) {
-				return false
-			}
-		}
-		return true
-	}
-	bindSlots := func(slots []slot) {
-		for _, s := range slots {
-			if !s.isConst {
-				bound[s.val] = true
-			}
-		}
-	}
-	// addChecks appends every comparison/negation check whose variables
-	// have just become bound.  Comparisons first: they are cheaper.
-	addChecks := func() {
-		for i, c := range rp.cmps {
-			if !usedCmp[i] && slotBound(c.left) && slotBound(c.right) {
-				usedCmp[i] = true
-				steps = append(steps, step{stepCmp, i})
-			}
-		}
-		for i, n := range rp.negatives {
-			if !usedNeg[i] && allBound(n.slots) {
-				usedNeg[i] = true
-				steps = append(steps, step{stepNeg, i})
-			}
-		}
-	}
-	addChecks()
-
-	// Join phase: repeatedly pick the positive literal with the most
-	// bound argument positions (ties to program order).
-	for remaining := len(rp.positives); remaining > 0; remaining-- {
-		best, bestScore := -1, -1
-		for i, lp := range rp.positives {
-			if usedPos[i] {
-				continue
-			}
-			score := 0
-			for _, s := range lp.slots {
-				if slotBound(s) {
-					score++
-				}
-			}
-			if score > bestScore {
-				best, bestScore = i, score
-			}
-		}
-		usedPos[best] = true
-		steps = append(steps, step{stepJoin, best})
-		bindSlots(rp.positives[best].slots)
-		addChecks()
-	}
-
-	// Extension phase: bind leftover variables, preferring equality
-	// propagation over universe enumeration.
-	for v := 0; v < rp.nvars; v++ {
-		if bound[v] {
-			continue
-		}
-		eq := -1
-		for i, c := range rp.cmps {
-			if c.neq || usedCmp[i] {
-				continue
-			}
-			l, r := c.left, c.right
-			if !l.isConst && l.val == v && slotBound(r) {
-				eq = i
-				break
-			}
-			if !r.isConst && r.val == v && slotBound(l) {
-				eq = i
-				break
-			}
-		}
-		if eq >= 0 {
-			usedCmp[eq] = true
-			steps = append(steps, step{stepBindEq, eq})
-		} else {
-			steps = append(steps, step{stepExtend, v})
-		}
-		bound[v] = true
-		addChecks()
-	}
-	return steps
 }

@@ -8,8 +8,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 12 {
-		t.Fatalf("registered %d experiments, want 12", len(all))
+	if len(all) != 13 {
+		t.Fatalf("registered %d experiments, want 13", len(all))
 	}
 	for i, e := range all {
 		want := i + 1

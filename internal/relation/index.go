@@ -1,0 +1,138 @@
+package relation
+
+import "fmt"
+
+// Composite indexes.
+//
+// A composite index generalizes the per-column indexes of cols(): it
+// maps the projection of each tuple onto a fixed subset of columns to
+// the arena offsets of the tuples having that projection, so an
+// equality probe on several columns at once costs one hash lookup
+// instead of a single-column lookup plus per-tuple filtering.  The
+// engine's join planner asks for the widest index covering the bound
+// argument positions of a literal.
+//
+// Like the per-column indexes, composite indexes are built lazily on
+// first probe, published atomically (so any number of readers may probe
+// concurrently while one goroutine builds), and dropped wholesale by
+// invalidate() on mutation.  Each Relation holds a small immutable map
+// from a column-set bitmask to its index; adding an index replaces the
+// map copy-on-write under mu, so established readers never observe a
+// map being written.
+//
+// Projections are keyed exactly like relation storage: the packed
+// uint64 encoding when the projected tuple packs (see key.go), the
+// byte-string spill encoding otherwise.  A given projection always
+// encodes the same way, so build and probe can never disagree on which
+// of the two maps holds an entry.
+
+// compIndex is one composite index: projection key → arena offsets.
+type compIndex struct {
+	packed map[uint64][]int32
+	spill  map[string][]int32
+}
+
+// colsMask validates cols (strictly ascending, in range, below 64) and
+// returns the bitmask identifying the index.
+func (r *Relation) colsMask(cols []int) uint64 {
+	if len(cols) == 0 {
+		panic("relation: composite index over zero columns")
+	}
+	var m uint64
+	prev := -1
+	for _, c := range cols {
+		if c < 0 || c >= r.arity {
+			panic(fmt.Sprintf("relation: index column %d out of range for arity %d", c, r.arity))
+		}
+		if c <= prev {
+			panic(fmt.Sprintf("relation: index columns %v not strictly ascending", cols))
+		}
+		if c >= 64 {
+			panic(fmt.Sprintf("relation: composite index column %d exceeds the 64-column limit", c))
+		}
+		prev = c
+		m |= 1 << uint(c)
+	}
+	return m
+}
+
+// compFor returns the composite index on cols, building and publishing
+// it on first use.  Safe for concurrent use by readers.
+func (r *Relation) compFor(cols []int) *compIndex {
+	mask := r.colsMask(cols)
+	if p := r.cidx.Load(); p != nil {
+		if ci, ok := (*p)[mask]; ok {
+			return ci
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.cidx.Load()
+	if cur != nil {
+		if ci, ok := (*cur)[mask]; ok {
+			return ci
+		}
+	}
+	ci := r.buildComp(cols)
+	next := make(map[uint64]*compIndex, 1)
+	if cur != nil {
+		for k, v := range *cur {
+			next[k] = v
+		}
+	}
+	next[mask] = ci
+	r.cidx.Store(&next)
+	return ci
+}
+
+// buildComp scans the arena once, grouping offsets by projection key.
+func (r *Relation) buildComp(cols []int) *compIndex {
+	ci := &compIndex{packed: make(map[uint64][]int32)}
+	proj := make(Tuple, len(cols))
+	for off, t := range r.arena {
+		for i, c := range cols {
+			proj[i] = t[c]
+		}
+		if k, ok := packKey(proj); ok {
+			ci.packed[k] = append(ci.packed[k], int32(off))
+			continue
+		}
+		if ci.spill == nil {
+			ci.spill = make(map[string][]int32)
+		}
+		sk := spillKey(proj)
+		ci.spill[sk] = append(ci.spill[sk], int32(off))
+	}
+	return ci
+}
+
+// LookupCols returns the arena offsets of the tuples whose projection
+// on cols equals vals (element i of vals constrains column cols[i]);
+// resolve them with At.  cols must be strictly ascending.  The
+// underlying composite index is built lazily and cached until the next
+// mutation.  Callers must not mutate the returned slice.  Safe for
+// concurrent use by readers.  The probe itself is allocation-free on
+// the packed path; projections that spill (ids beyond the packed width)
+// pay one key allocation per probe.
+func (r *Relation) LookupCols(cols []int, vals []int) []int32 {
+	ci := r.compFor(cols)
+	if k, ok := packKey(Tuple(vals)); ok {
+		return ci.packed[k]
+	}
+	if ci.spill == nil {
+		return nil
+	}
+	return ci.spill[spillKey(Tuple(vals))]
+}
+
+// Distinct returns the number of distinct values appearing in column
+// col — the statistic the join planner divides by when estimating the
+// selectivity of an equality probe.  It shares the lazily built
+// per-column indexes, so after the first call (or the first Lookup) it
+// is O(1) until the next mutation.
+func (r *Relation) Distinct(col int) int {
+	if col < 0 || col >= r.arity {
+		panic(fmt.Sprintf("relation: index column %d out of range for arity %d", col, r.arity))
+	}
+	return len(r.cols()[col])
+}

@@ -28,8 +28,9 @@ type Relation struct {
 	packed map[uint64]int32 // packed key -> arena offset
 	spill  map[string]int32 // fallback key -> arena offset (wide/huge tuples)
 
-	mu  sync.Mutex                 // serializes lazy index builds
-	idx atomic.Pointer[[]colIndex] // per-column indexes, nil until built
+	mu   sync.Mutex                            // serializes lazy index builds
+	idx  atomic.Pointer[[]colIndex]            // per-column indexes, nil until built
+	cidx atomic.Pointer[map[uint64]*compIndex] // composite indexes by column mask (see index.go)
 }
 
 // colIndex maps a column value to the arena offsets of the tuples
@@ -151,12 +152,15 @@ func (r *Relation) Remove(t Tuple) bool {
 	return true
 }
 
-// invalidate drops cached indexes after a mutation.  The load guard
-// keeps mutation-heavy phases (which never build an index) free of the
-// atomic-store cost on every Add.
+// invalidate drops cached indexes (per-column and composite) after a
+// mutation.  The load guards keep mutation-heavy phases (which never
+// build an index) free of the atomic-store cost on every Add.
 func (r *Relation) invalidate() {
 	if r.idx.Load() != nil {
 		r.idx.Store(nil)
+	}
+	if r.cidx.Load() != nil {
+		r.cidx.Store(nil)
 	}
 }
 

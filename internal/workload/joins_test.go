@@ -1,0 +1,38 @@
+package workload
+
+import "testing"
+
+func TestSameGenDBShape(t *testing.T) {
+	branch, depth := 2, 3
+	db := SameGenDB(branch, depth)
+	up := db.Relation("up")
+	down := db.Relation("down")
+	flat := db.Relation("flat")
+	// A complete 2-ary tree of depth 3 has 2+4+8 = 14 non-root nodes,
+	// each contributing one up and one down edge.
+	if up == nil || up.Len() != 14 {
+		t.Fatalf("up relation = %v", up)
+	}
+	if down == nil || down.Len() != up.Len() {
+		t.Fatalf("down len = %v, want %d", down, up.Len())
+	}
+	// flat: ordered pairs of distinct root children.
+	if flat == nil || flat.Len() != branch*(branch-1) {
+		t.Fatalf("flat relation = %v", flat)
+	}
+}
+
+func TestJoinWorkloadsDeterministic(t *testing.T) {
+	for _, wl := range JoinWorkloads(true) {
+		a, b := wl.DB(), wl.DB()
+		for _, pred := range []string{"E", "up", "down", "flat"} {
+			ra, rb := a.Relation(pred), b.Relation(pred)
+			if (ra == nil) != (rb == nil) {
+				t.Fatalf("%s: %s presence differs across generations", wl.Name, pred)
+			}
+			if ra != nil && !ra.Equal(rb) {
+				t.Errorf("%s: %s differs across generations", wl.Name, pred)
+			}
+		}
+	}
+}

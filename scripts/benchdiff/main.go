@@ -1,0 +1,104 @@
+// Command benchdiff compares two `go test -bench` outputs and fails
+// when any benchmark present in both regressed by more than a
+// threshold.  It is the enforcement half of CI's benchstat job:
+// benchstat renders the human-readable comparison, benchdiff gates the
+// build, comparing per-benchmark medians (robust to the odd noisy
+// iteration on shared runners).
+//
+// Usage:
+//
+//	benchdiff [-threshold 15] base.txt head.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// parseBench extracts name -> ns/op samples from a -bench output file.
+func parseBench(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// BenchmarkName-8  100  123456 ns/op  [more unit pairs...]
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		if fields[3] != "ns/op" {
+			continue
+		}
+		out[fields[0]] = append(out[fields[0]], v)
+	}
+	return out, sc.Err()
+}
+
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 15, "max allowed regression in percent")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] base.txt head.txt")
+		os.Exit(2)
+	}
+	base, err := parseBench(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	head, err := parseBench(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if _, ok := head[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no common benchmarks between the two inputs")
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, name := range names {
+		b, h := median(base[name]), median(head[name])
+		delta := (h - b) / b * 100
+		status := "ok"
+		if delta > *threshold {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-70s %12.0f -> %12.0f ns/op  %+7.1f%%  %s\n", name, b, h, delta, status)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: regressions beyond %.0f%% detected\n", *threshold)
+		os.Exit(1)
+	}
+}
