@@ -28,8 +28,12 @@ func main() {
 		withLeast   = flag.Bool("least", false, "run the Theorem 3 least-fixpoint analysis")
 		enumerate   = flag.Int("enumerate", 0, "print up to N fixpoints")
 		stable      = flag.Bool("stable", false, "also enumerate stable models (answer sets)")
+		workers     = flag.Int("workers", 0, "Θ evaluation worker-pool size (0 = GOMAXPROCS)")
+		planner     = flag.Bool("planner", true, "cost-based join planning (false = syntactic literal order)")
 	)
 	flag.Parse()
+	engine.SetDefaultWorkers(*workers)
+	engine.SetDefaultCostPlanner(*planner)
 	if *programPath == "" || *factsPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: fixpoint -program FILE -facts FILE [-count N] [-least] [-enumerate N]")
 		flag.PrintDefaults()

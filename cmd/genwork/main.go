@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"os"
 
+	"repro/internal/engine"
 	"repro/internal/graphs"
 	"repro/internal/parser"
 	"repro/internal/reductions"
@@ -35,8 +36,15 @@ func main() {
 		ratio = flag.Float64("ratio", 4.26, "clause ratio for -kind 3sat")
 		seed  = flag.Int64("seed", 1, "random seed")
 		name  = flag.String("name", "pi1", "program name for -kind program: pi1|pisat|picol|tc|distance")
+		// Flag parity with cmd/datalog and cmd/bench: workload
+		// generation that evaluates programs (e.g. SAT instance
+		// validation) runs on the same engine knobs.
+		workers = flag.Int("workers", 0, "Θ evaluation worker-pool size (0 = GOMAXPROCS)")
+		planner = flag.Bool("planner", true, "cost-based join planning (false = syntactic literal order)")
 	)
 	flag.Parse()
+	engine.SetDefaultWorkers(*workers)
+	engine.SetDefaultCostPlanner(*planner)
 
 	switch *kind {
 	case "3sat", "ksat", "unique", "pigeonhole":

@@ -14,20 +14,26 @@ import (
 // change mid-rule — so the join loop never goes through a predicate
 // map.  headBuf and negBuf are scratch tuples reused across emissions
 // so the hot path allocates only when a genuinely new tuple is stored.
+// When cnt is non-nil the task is a counting pass: every emission bumps
+// the head tuple's derivation count instead of inserting into out.
 type evalCtx struct {
 	pos     []*relation.Relation
 	neg     []*relation.Relation
 	out     *relation.Relation
+	cnt     *relation.Multiset
 	usize   int
 	headBuf relation.Tuple
 	negBuf  relation.Tuple
 }
 
-// evalTask is one unit of parallel work: a rule plan plus an optional
-// semi-naive positive-literal override.
+// evalTask is one unit of parallel work: a rule plan plus optional
+// per-literal relation overrides (the semi-naive and delta variants).
+// pos[i] overrides the relation read by the i-th positive literal,
+// neg[j] the relation checked by the j-th negated literal.
 type evalTask struct {
-	rp       *rulePlan
-	override map[int]State
+	rp  *rulePlan
+	pos map[int]*relation.Relation
+	neg map[int]*relation.Relation
 }
 
 // Apply computes Θ(S̄): the relations derived from the database and s by
@@ -66,32 +72,17 @@ func (in *Instance) ApplyDelta(old, delta, cur State) State {
 // ApplyDeltaSplit is ApplyDelta with negated IDB literals evaluated
 // against an explicit state neg instead of cur.  Like ApplySplit, the
 // (rule, variant) pairs run concurrently on the worker pool.
+//
+// It is the IDB-insert special case of the general delta machinery in
+// delta.go: every IDB predicate drives positive literals with its delta
+// relation, literals before the driver read the old relation, literals
+// after it fall through to cur.
 func (in *Instance) ApplyDeltaSplit(old, delta, cur, neg State) State {
-	var tasks []evalTask
-	for _, rp := range in.plans {
-		if len(rp.posIDB) == 0 {
-			continue
-		}
-		// Variant v: positive IDB literals before the v-th read old,
-		// the v-th reads delta, later ones read cur.  Every derivation
-		// using ≥1 delta tuple is covered exactly once by the variant
-		// whose index is its first delta position.
-		for v := range rp.posIDB {
-			variant := make(map[int]State, len(rp.posIDB))
-			for k, litIdx := range rp.posIDB {
-				switch {
-				case k < v:
-					variant[litIdx] = old
-				case k == v:
-					variant[litIdx] = delta
-				default:
-					variant[litIdx] = cur
-				}
-			}
-			tasks = append(tasks, evalTask{rp: rp, override: variant})
-		}
+	deltas := make(map[string]Delta, len(delta))
+	for pred, d := range delta {
+		deltas[pred] = Delta{PosDriver: d, Before: old[pred]}
 	}
-	return in.runTasks(tasks, cur, neg)
+	return in.runTasks(in.deltaTasks(deltas), cur, neg)
 }
 
 // runTasks evaluates every task against (pos, neg) and returns the
@@ -109,7 +100,7 @@ func (in *Instance) runTasks(tasks []evalTask, pos, neg State) State {
 	if nw <= 1 {
 		out := in.NewState()
 		for _, t := range tasks {
-			in.evalRule(t.rp, pos, neg, out, t.override)
+			in.evalRule(t, pos, neg, out, nil)
 		}
 		return out
 	}
@@ -127,7 +118,7 @@ func (in *Instance) runTasks(tasks []evalTask, pos, neg State) State {
 				if i >= len(tasks) {
 					break
 				}
-				in.evalRule(tasks[i].rp, pos, neg, out, tasks[i].override)
+				in.evalRule(tasks[i], pos, neg, out, nil)
 			}
 			outs[w] = out
 		}(w)
@@ -139,6 +130,57 @@ func (in *Instance) runTasks(tasks []evalTask, pos, neg State) State {
 		out.UnionWith(o)
 	}
 	return out
+}
+
+// runTasksCount evaluates every task in counting mode: instead of a
+// derived set it returns, per head predicate, the multiset of head
+// tuples with the number of distinct rule-body derivations that emitted
+// each.  Workers fill private multisets merged by summation, so counts
+// are exact regardless of scheduling.
+func (in *Instance) runTasksCount(tasks []evalTask, pos, neg State) map[string]*relation.Multiset {
+	nw := in.Workers()
+	if nw > len(tasks) {
+		nw = len(tasks)
+	}
+	if nw <= 1 {
+		cnt := make(map[string]*relation.Multiset)
+		for _, t := range tasks {
+			in.evalRule(t, pos, neg, nil, cnt)
+		}
+		return cnt
+	}
+
+	cnts := make([]map[string]*relation.Multiset, nw)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func(w int) {
+			defer wg.Done()
+			cnt := make(map[string]*relation.Multiset)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					break
+				}
+				in.evalRule(tasks[i], pos, neg, nil, cnt)
+			}
+			cnts[w] = cnt
+		}(w)
+	}
+	wg.Wait()
+
+	cnt := cnts[0]
+	for _, c := range cnts[1:] {
+		for pred, ms := range c {
+			if have := cnt[pred]; have != nil {
+				have.MergeFrom(ms)
+			} else {
+				cnt[pred] = ms
+			}
+		}
+	}
+	return cnt
 }
 
 // defaultWorkers is the process-wide worker-pool default applied to
@@ -184,11 +226,14 @@ func (in *Instance) IsFixpoint(s State) bool {
 	return in.Apply(s).Equal(s)
 }
 
-// evalRule evaluates one rule plan.  posState resolves positive IDB
-// literals, negState negated ones; posOverride, when non-nil, overrides
-// the state used by specific positive literal indices (the semi-naive
-// variants).
-func (in *Instance) evalRule(rp *rulePlan, posState, negState State, out State, posOverride map[int]State) {
+// evalRule evaluates one task's rule plan.  posState resolves positive
+// IDB literals, negState negated ones; the task's override maps replace
+// the relation of specific literal indices (the semi-naive and delta
+// variants).  With cnt non-nil the rule runs in counting mode: every
+// derivation bumps the head tuple's count in cnt[headPred] instead of
+// inserting into out.
+func (in *Instance) evalRule(task evalTask, posState, negState State, out State, cnt map[string]*relation.Multiset) {
+	rp := task.rp
 	maxNeg := 0
 	for _, np := range rp.negatives {
 		if len(np.slots) > maxNeg {
@@ -203,24 +248,31 @@ func (in *Instance) evalRule(rp *rulePlan, posState, negState State, out State, 
 		pos:     make([]*relation.Relation, len(rp.positives)),
 		neg:     make([]*relation.Relation, len(rp.negatives)),
 	}
+	if cnt != nil {
+		ms := cnt[rp.headPred]
+		if ms == nil {
+			ms = relation.NewMultiset(len(rp.headSlots))
+			cnt[rp.headPred] = ms
+		}
+		ctx.cnt = ms
+	}
 	for i, lp := range rp.positives {
 		switch {
+		case task.pos[i] != nil:
+			ctx.pos[i] = task.pos[i]
 		case !lp.idb:
 			ctx.pos[i] = in.edbRel(lp.pred)
 		default:
-			st := posState
-			if posOverride != nil {
-				if ov, ok := posOverride[i]; ok {
-					st = ov
-				}
-			}
-			ctx.pos[i] = st[lp.pred]
+			ctx.pos[i] = posState[lp.pred]
 		}
 	}
 	for i, np := range rp.negatives {
-		if !np.idb {
+		switch {
+		case task.neg[i] != nil:
+			ctx.neg[i] = task.neg[i]
+		case !np.idb:
 			ctx.neg[i] = in.edbRel(np.pred)
-		} else {
+		default:
 			ctx.neg[i] = negState[np.pred]
 		}
 	}
@@ -248,13 +300,17 @@ func slotValue(s slot, binding []int) int {
 // emitting head tuples into ctx.out.
 func (in *Instance) run(rp *rulePlan, ctx *evalCtx, ep *execPlan, si int, binding []int) {
 	if si == len(ep.steps) {
-		// Fill the scratch head buffer; Relation.Add copies it only
-		// when the tuple is actually new.
+		// Fill the scratch head buffer; Relation.Add (and Multiset.Bump
+		// for a new tuple) copies it only when actually stored.
 		t := ctx.headBuf
 		for i, s := range rp.headSlots {
 			t[i] = slotValue(s, binding)
 		}
-		ctx.out.Add(t)
+		if ctx.cnt != nil {
+			ctx.cnt.Bump(t, 1)
+		} else {
+			ctx.out.Add(t)
+		}
 		return
 	}
 	st := ep.steps[si]

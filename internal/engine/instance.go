@@ -47,7 +47,6 @@ type rulePlan struct {
 	positives []litPlan
 	negatives []negPlan
 	cmps      []cmpPlan
-	posIDB    []int // indices into positives with IDB predicates
 }
 
 // plannerMode is the tri-state per-instance planner selector.
@@ -213,11 +212,6 @@ func (in *Instance) compile(r ast.Rule) *rulePlan {
 			rp.cmps = append(rp.cmps, cmpPlan{left: mkSlot(l.Left), right: mkSlot(l.Right)})
 		case ast.LitNeq:
 			rp.cmps = append(rp.cmps, cmpPlan{neq: true, left: mkSlot(l.Left), right: mkSlot(l.Right)})
-		}
-	}
-	for i, lp := range rp.positives {
-		if lp.idb {
-			rp.posIDB = append(rp.posIDB, i)
 		}
 	}
 	return rp

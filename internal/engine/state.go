@@ -46,6 +46,37 @@ func (s State) Clone() State {
 	return c
 }
 
+// Snapshot returns an O(1) immutable view of the state: every relation
+// is snapshotted with structural sharing (see relation.Relation's
+// Snapshot for the exact visibility and concurrency contract).
+func (s State) Snapshot() State {
+	c := make(State, len(s))
+	for k, r := range s {
+		c[k] = r.Snapshot()
+	}
+	return c
+}
+
+// Seal marks every relation's storage as published, so snapshots of
+// this state can be read from other goroutines while the state keeps
+// being mutated: the first mutation of each relation copies its
+// storage.
+func (s State) Seal() {
+	for _, r := range s {
+		r.Seal()
+	}
+}
+
+// Mutable returns a state whose relations are all mutable, deep-copying
+// exactly the ones that are immutable snapshot views.
+func (s State) Mutable() State {
+	c := make(State, len(s))
+	for k, r := range s {
+		c[k] = r.Mutable()
+	}
+	return c
+}
+
 // Equal reports whether both states assign exactly the same relations.
 func (s State) Equal(o State) bool {
 	if len(s) != len(o) {

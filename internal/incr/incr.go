@@ -1,0 +1,405 @@
+// Package incr maintains the materialized result of a DATALOG¬ program
+// under EDB fact inserts and deletes, without recomputing the fixpoint
+// from scratch.
+//
+// The strategy depends on the semantics and the program class:
+//
+//   - LFP and Stratified (and Inflationary on positive/semipositive
+//     programs, where it coincides with LFP): stratum-by-stratum
+//     maintenance.  Nonrecursive strata keep exact derivation support
+//     counts (the counting algorithm): an update bumps counts up for
+//     derivations it enables and down for derivations it disables, and
+//     membership follows count > 0.  Recursive strata use DRed-style
+//     delete/rederive plus semi-naive insert propagation.  Changes
+//     cascade upward through the strata, insertions acting as deletions
+//     through negation and vice versa.
+//   - Inflationary on general programs: the paper's stage sequence is
+//     the semantics, so the evaluator's per-stage snapshots (O(1) each,
+//     see relation.Relation.Snapshot) are persisted as a replay log.
+//     An update probes each logged stage for derivations that the
+//     changed tuples enable or disable; the stages before the first
+//     affected one are provably unchanged and are skipped, and
+//     evaluation replays from there.
+//   - WellFounded: recomputed per update (the alternating fixpoint
+//     offers no stage structure to reuse); kept behind the same API so
+//     the server can maintain any semantics.
+//
+// A Maintainer is single-writer: Update and Snapshot must be called
+// from one goroutine (or externally serialized).  Snapshots returned by
+// Snapshot are sealed immutable views that arbitrary goroutines may
+// read while later updates run — the daemon's concurrent-reader
+// contract.
+package incr
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/relation"
+	"repro/internal/semantics"
+)
+
+// Fact is one EDB tuple named by constants, as it appears in update
+// requests.
+type Fact struct {
+	Pred string   `json:"pred"`
+	Args []string `json:"args"`
+}
+
+// UpdateStats reports what one Update did.
+type UpdateStats struct {
+	// Strategy that handled the update: counting/dred (possibly both,
+	// reported as "strata"), replay, recompute, or noop.
+	Strategy string `json:"strategy"`
+	// EDB tuples actually inserted/removed (duplicates and misses are
+	// dropped during normalization).
+	InsertedEDB int `json:"inserted_edb"`
+	DeletedEDB  int `json:"deleted_edb"`
+	// Net IDB tuples the maintained state gained/lost.
+	InsertedIDB int `json:"inserted_idb"`
+	DeletedIDB  int `json:"deleted_idb"`
+	// Replay accounting (inflationary only): stages proven unchanged
+	// and skipped, and stages re-evaluated.
+	SkippedStages  int           `json:"skipped_stages,omitempty"`
+	ReplayedStages int           `json:"replayed_stages,omitempty"`
+	Duration       time.Duration `json:"duration_ns"`
+}
+
+// Snapshot is a published point-in-time view of the maintained
+// database: every program relation (EDB and IDB) as a sealed immutable
+// view, plus a private copy of the universe.  Safe for concurrent reads
+// from any number of goroutines while the maintainer keeps updating.
+type Snapshot struct {
+	Rels     map[string]*relation.Relation
+	Universe *relation.Universe
+	Gen      uint64
+	Sem      core.Semantics
+}
+
+// Relation returns the named relation of the snapshot, or nil.
+func (s *Snapshot) Relation(name string) *relation.Relation { return s.Rels[name] }
+
+// strategy discriminates the maintenance machinery in use.
+type strategy int
+
+const (
+	stratStrata strategy = iota // counting + DRed over strata
+	stratReplay                 // inflationary stage-log replay
+	stratWF                     // well-founded: recompute per update
+)
+
+// Maintainer owns a program, a private copy of its database, and the
+// materialized result, and keeps the result exact under EDB updates.
+type Maintainer struct {
+	prog    *ast.Program
+	sem     core.Semantics
+	db      *relation.Database
+	arities map[string]int
+	idb     map[string]bool
+	state   engine.State
+	gen     uint64
+	strat   strategy
+	safe    bool // every rule variable bound positively: universe growth cannot change plans
+
+	strata []*stratum       // stratStrata
+	in     *engine.Instance // stratReplay / stratWF
+	log    []engine.State   // stratReplay: stage snapshots S₁..S_m
+	wf     *semantics.WFResult
+
+	// pubUniv caches the universe copy handed to snapshots; the
+	// universe is append-only, so it is stale exactly when the sizes
+	// differ, and updates that intern nothing republish it for free.
+	pubUniv *relation.Universe
+}
+
+// New builds a maintainer for prog on a private clone of db, runs the
+// initial evaluation under sem, and returns it ready for updates.
+func New(prog *ast.Program, db *relation.Database, sem core.Semantics) (*Maintainer, error) {
+	arities, err := prog.Validate()
+	if err != nil {
+		return nil, err
+	}
+	m := &Maintainer{
+		prog:    prog,
+		sem:     sem,
+		db:      db.Clone(),
+		arities: arities,
+		idb:     prog.IDB(),
+		safe:    allVarsPositive(prog),
+	}
+	class := prog.Classify()
+	switch sem {
+	case core.LFP:
+		if class != ast.ClassPositive && class != ast.ClassSemipositive {
+			return nil, fmt.Errorf("incr: least fixpoint maintenance requires a positive or semipositive program; this one is %v", class)
+		}
+		m.strat = stratStrata
+	case core.Stratified:
+		if _, err := prog.Stratify(); err != nil {
+			return nil, err
+		}
+		m.strat = stratStrata
+	case core.Inflationary:
+		if class == ast.ClassPositive || class == ast.ClassSemipositive {
+			// Inflationary coincides with LFP: use the cheaper
+			// counting/DRed machinery.
+			m.strat = stratStrata
+		} else {
+			m.strat = stratReplay
+		}
+	case core.WellFounded:
+		m.strat = stratWF
+	default:
+		return nil, fmt.Errorf("incr: unknown semantics %v", sem)
+	}
+
+	switch m.strat {
+	case stratStrata:
+		if err := m.initStrata(); err != nil {
+			return nil, err
+		}
+		m.evalStrata()
+	case stratReplay, stratWF:
+		in, err := engine.New(prog, m.db)
+		if err != nil {
+			return nil, err
+		}
+		m.in = in
+		if m.strat == stratReplay {
+			m.evalReplay()
+		} else {
+			m.evalWF()
+		}
+	}
+	return m, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(prog *ast.Program, db *relation.Database, sem core.Semantics) *Maintainer {
+	m, err := New(prog, db, sem)
+	if err != nil {
+		panic("incr: " + err.Error())
+	}
+	return m
+}
+
+// State returns the live maintained IDB state (for WellFounded, the
+// certainly-true part).  It must only be read from the maintainer's
+// goroutine; concurrent readers use Snapshot.
+func (m *Maintainer) State() engine.State { return m.state }
+
+// WF returns the full three-valued result when the semantics is
+// WellFounded, else nil.
+func (m *Maintainer) WF() *semantics.WFResult { return m.wf }
+
+// Universe returns the maintainer's universe.  Single-goroutine, like
+// State; snapshots carry their own copy.
+func (m *Maintainer) Universe() *relation.Universe { return m.db.Universe() }
+
+// Semantics returns the maintained semantics.
+func (m *Maintainer) Semantics() core.Semantics { return m.sem }
+
+// Gen returns the update generation (0 = initial evaluation).
+func (m *Maintainer) Gen() uint64 { return m.gen }
+
+// Stages returns the number of logged inflationary stages (0 for other
+// strategies).
+func (m *Maintainer) Stages() int { return len(m.log) }
+
+// Snapshot publishes the current state: sealed immutable views of every
+// program relation plus a private universe copy.  Readers on any
+// goroutine may use it while Update keeps running; the first mutation
+// of each relation after publication copies its storage (copy-on-write)
+// so published views are never written to.
+func (m *Maintainer) Snapshot() *Snapshot {
+	rels := make(map[string]*relation.Relation, len(m.state)+8)
+	for pred, r := range m.state {
+		rels[pred] = r.Snapshot()
+		r.Seal()
+	}
+	for _, name := range m.db.Names() {
+		if _, ok := rels[name]; ok {
+			continue
+		}
+		r := m.db.Relation(name)
+		rels[name] = r.Snapshot()
+		r.Seal()
+	}
+	if m.pubUniv == nil || m.pubUniv.Size() != m.db.Universe().Size() {
+		m.pubUniv = m.db.Universe().Clone()
+	}
+	return &Snapshot{Rels: rels, Universe: m.pubUniv, Gen: m.gen, Sem: m.sem}
+}
+
+// change tracks one predicate's effective update: the tuples actually
+// entering (add) and leaving (del), and a pre-update snapshot.
+type change struct {
+	add, del *relation.Relation
+	pre      *relation.Relation
+}
+
+// stable returns the tuples present in both the old and new worlds:
+// pre ∖ del (= new ∖ add).
+func (c *change) stable() *relation.Relation {
+	if c.del.Empty() {
+		return c.pre
+	}
+	return c.pre.Diff(c.del)
+}
+
+// ever returns the tuples present in either world: pre ∪ add.
+func (c *change) ever() *relation.Relation {
+	if c.add.Empty() {
+		return c.pre
+	}
+	return c.pre.Union(c.add)
+}
+
+// Update applies the fact inserts and deletes and incrementally
+// maintains the materialized state.  Inserting a present fact or
+// deleting an absent one is a no-op; a tuple appearing in both lists is
+// an error.  New constants are interned into the universe.
+func (m *Maintainer) Update(ins, del []Fact) (*UpdateStats, error) {
+	start := time.Now()
+	stats := &UpdateStats{}
+	ch, grew, err := m.normalize(ins, del, stats)
+	if err != nil {
+		return nil, err
+	}
+	effective := len(ch) > 0
+	switch {
+	case grew && !m.safe:
+		// A new constant changes the universe the unsafe rules
+		// enumerate, invalidating every maintenance shortcut.
+		stats.Strategy = "recompute"
+		m.recompute()
+	case !effective:
+		stats.Strategy = "noop"
+	case m.strat == stratStrata:
+		stats.Strategy = "strata"
+		m.updateStrata(ch, stats)
+	case m.strat == stratReplay:
+		stats.Strategy = "replay"
+		m.updateReplay(ch, stats)
+	default:
+		stats.Strategy = "recompute"
+		m.evalWF()
+	}
+	m.gen++
+	stats.Duration = time.Since(start)
+	return stats, nil
+}
+
+// recompute redoes the full evaluation with the current database (the
+// fallback for universe growth under unsafe rules).
+func (m *Maintainer) recompute() {
+	switch m.strat {
+	case stratStrata:
+		m.evalStrata()
+	case stratReplay:
+		m.evalReplay()
+	default:
+		m.evalWF()
+	}
+}
+
+// normalize interns the update's constants, validates it, applies it to
+// the EDB relations, and returns the effective per-predicate changes
+// with pre-update snapshots.  grew reports whether interning added new
+// constants.
+func (m *Maintainer) normalize(ins, del []Fact, stats *UpdateStats) (map[string]*change, bool, error) {
+	univ := m.db.Universe()
+	before := univ.Size()
+
+	toTuple := func(f Fact) (relation.Tuple, *relation.Relation, error) {
+		if m.idb[f.Pred] {
+			return nil, nil, fmt.Errorf("incr: %s is an IDB predicate; only EDB facts can be updated", f.Pred)
+		}
+		if ar, ok := m.arities[f.Pred]; ok && ar != len(f.Args) {
+			return nil, nil, fmt.Errorf("incr: %s has arity %d in the program, got %d args", f.Pred, ar, len(f.Args))
+		}
+		rel, err := m.db.Ensure(f.Pred, len(f.Args))
+		if err != nil {
+			return nil, nil, err
+		}
+		t := make(relation.Tuple, len(f.Args))
+		for i, a := range f.Args {
+			t[i] = univ.Intern(a)
+		}
+		return t, rel, nil
+	}
+
+	ch := make(map[string]*change)
+	chFor := func(pred string, rel *relation.Relation) *change {
+		c := ch[pred]
+		if c == nil {
+			c = &change{
+				add: relation.New(rel.Arity()),
+				del: relation.New(rel.Arity()),
+				pre: rel.Snapshot(),
+			}
+			ch[pred] = c
+		}
+		return c
+	}
+
+	// Stage the effective tuples first (so pre-snapshots are taken
+	// before any mutation and conflicts are detected), then apply.
+	for _, f := range del {
+		t, rel, err := toTuple(f)
+		if err != nil {
+			return nil, false, err
+		}
+		if rel.Has(t) {
+			chFor(f.Pred, rel).del.Add(t)
+		}
+	}
+	for _, f := range ins {
+		t, rel, err := toTuple(f)
+		if err != nil {
+			return nil, false, err
+		}
+		c := chFor(f.Pred, rel)
+		if c.del.Has(t) {
+			return nil, false, fmt.Errorf("incr: %s%v both inserted and deleted in one update", f.Pred, f.Args)
+		}
+		if !rel.Has(t) {
+			c.add.Add(t)
+		}
+	}
+	for pred, c := range ch {
+		rel := m.db.Relation(pred)
+		c.del.Each(func(t relation.Tuple) bool { rel.Remove(t); return true })
+		c.add.Each(func(t relation.Tuple) bool { rel.Add(t); return true })
+		stats.InsertedEDB += c.add.Len()
+		stats.DeletedEDB += c.del.Len()
+		if c.add.Empty() && c.del.Empty() {
+			delete(ch, pred)
+		}
+	}
+	return ch, univ.Size() > before, nil
+}
+
+// evalWF recomputes the well-founded model.
+func (m *Maintainer) evalWF() {
+	m.wf = semantics.WellFoundedMode(m.in, semantics.SemiNaive)
+	m.state = m.wf.True
+}
+
+// allVarsPositive reports whether every variable of every rule is bound
+// by a positive body literal — such programs never enumerate the
+// universe, so growing it cannot change any derivation.
+func allVarsPositive(p *ast.Program) bool {
+	for _, r := range p.Rules {
+		pv := r.PositiveVars()
+		for _, v := range r.Vars() {
+			if !pv[v] {
+				return false
+			}
+		}
+	}
+	return true
+}

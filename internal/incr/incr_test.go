@@ -1,0 +1,197 @@
+package incr_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graphs"
+	"repro/internal/incr"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/semantics"
+)
+
+const (
+	tcSrc   = "s(X,Y) :- E(X,Y).\ns(X,Y) :- E(X,Z), s(Z,Y)."
+	distSrc = `
+s1(X,Y) :- E(X,Y).
+s1(X,Y) :- E(X,Z), s1(Z,Y).
+s2(Xs,Ys) :- E(Xs,Ys).
+s2(Xs,Ys) :- E(Xs,Zs), s2(Zs,Ys).
+s3(X,Y,Xs,Ys) :- E(X,Y), !s2(Xs,Ys).
+s3(X,Y,Xs,Ys) :- E(X,Z), s1(Z,Y), !s2(Xs,Ys).
+`
+	winSrc = "win(X) :- E(X,Y), !win(Y)."
+	// X appears only under negation: the rule enumerates the universe,
+	// so universe growth forces the recompute fallback.
+	unsafeSrc = "t(X) :- !E(X,X).\nu(X,Y) :- E(X,Y), !F(X,Y)."
+)
+
+// applyPlain mirrors a maintainer update onto a plain database, in the
+// same order normalize uses (deletes first), so constant interning
+// stays aligned.
+func applyPlain(t *testing.T, db *relation.Database, ins, del []incr.Fact) {
+	t.Helper()
+	tup := func(f incr.Fact) relation.Tuple {
+		tu := make(relation.Tuple, len(f.Args))
+		for i, a := range f.Args {
+			tu[i] = db.Universe().Intern(a)
+		}
+		return tu
+	}
+	for _, f := range del {
+		r, err := db.Ensure(f.Pred, len(f.Args))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Remove(tup(f))
+	}
+	for _, f := range ins {
+		r, err := db.Ensure(f.Pred, len(f.Args))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Add(tup(f))
+	}
+}
+
+// randomBatch draws 1-3 fact inserts/deletes over the given predicates,
+// occasionally using a fresh constant name to exercise universe growth.
+func randomBatch(rng *rand.Rand, preds []string, n int, fresh *int) (ins, del []incr.Fact) {
+	name := func() string {
+		if rng.Intn(12) == 0 {
+			*fresh++
+			return fmt.Sprintf("w%d", *fresh)
+		}
+		return graphs.VertexName(rng.Intn(n))
+	}
+	seen := map[string]bool{}
+	for k := rng.Intn(3) + 1; k > 0; k-- {
+		f := incr.Fact{Pred: preds[rng.Intn(len(preds))], Args: []string{name(), name()}}
+		key := f.Pred + "/" + f.Args[0] + "/" + f.Args[1]
+		if seen[key] {
+			continue // same tuple twice in one batch risks an ins/del conflict
+		}
+		seen[key] = true
+		if rng.Intn(2) == 0 {
+			ins = append(ins, f)
+		} else {
+			del = append(del, f)
+		}
+	}
+	return ins, del
+}
+
+// checkMaintained interleaves random inserts and deletes and verifies
+// after every update that the maintained state is bit-exact with a
+// from-scratch recompute on an identically updated plain database.
+func checkMaintained(t *testing.T, src string, sem core.Semantics, preds []string, seed int64, steps int) {
+	prog := parser.MustProgram(src)
+	n := 6
+	db0 := graphs.Random(rand.New(rand.NewSource(seed)), n, 0.3).Database()
+	if len(preds) > 1 {
+		// Seed the auxiliary predicates so Ensure arities agree.
+		for _, p := range preds[1:] {
+			db0.MustEnsure(p, 2)
+		}
+	}
+	m, err := incr.New(prog, db0, sem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror := db0.Clone()
+	rng := rand.New(rand.NewSource(seed * 7))
+	fresh := 0
+	for step := 0; step < steps; step++ {
+		ins, del := randomBatch(rng, preds, n, &fresh)
+		stats, err := m.Update(ins, del)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		applyPlain(t, mirror, ins, del)
+		want, err := core.Eval(prog, mirror, sem, semantics.SemiNaive)
+		if err != nil {
+			t.Fatalf("step %d recompute: %v", step, err)
+		}
+		got := m.State().Format(m.Universe())
+		exp := want.State.Format(want.Universe)
+		if got != exp {
+			t.Fatalf("step %d (%s, ins=%v del=%v, strategy=%s): maintained state diverged\nmaintained:\n%s\nrecompute:\n%s",
+				step, sem, ins, del, stats.Strategy, got, exp)
+		}
+	}
+}
+
+func TestMaintainedMatchesRecompute(t *testing.T) {
+	cases := []struct {
+		name  string
+		src   string
+		preds []string
+		sems  []core.Semantics
+	}{
+		{"tc", tcSrc, []string{"E"}, []core.Semantics{core.Inflationary, core.LFP, core.Stratified, core.WellFounded}},
+		{"distance", distSrc, []string{"E"}, []core.Semantics{core.Stratified, core.Inflationary, core.WellFounded}},
+		{"winmove", winSrc, []string{"E"}, []core.Semantics{core.Inflationary, core.WellFounded}},
+		{"unsafe-semipositive", unsafeSrc, []string{"E", "F"}, []core.Semantics{core.LFP, core.Inflationary, core.Stratified}},
+	}
+	for _, tc := range cases {
+		for _, sem := range tc.sems {
+			for _, seed := range []int64{1, 2, 3} {
+				name := fmt.Sprintf("%s/%v/seed%d", tc.name, sem, seed)
+				t.Run(name, func(t *testing.T) {
+					steps := 24
+					if testing.Short() {
+						steps = 8
+					}
+					checkMaintained(t, tc.src, sem, tc.preds, seed, steps)
+				})
+			}
+		}
+	}
+}
+
+func TestUpdateErrors(t *testing.T) {
+	prog := parser.MustProgram(tcSrc)
+	db := graphs.Path(3).Database()
+	m := incr.MustNew(prog, db, core.LFP)
+	if _, err := m.Update([]incr.Fact{{Pred: "s", Args: []string{"v0", "v1"}}}, nil); err == nil {
+		t.Error("updating an IDB predicate should fail")
+	}
+	if _, err := m.Update([]incr.Fact{{Pred: "E", Args: []string{"v0"}}}, nil); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	f := incr.Fact{Pred: "E", Args: []string{"v0", "v1"}} // present, so both sides are effective
+	if _, err := m.Update([]incr.Fact{f}, []incr.Fact{f}); err == nil {
+		t.Error("same-tuple insert+delete should fail")
+	}
+	// No-op updates are reported as such.
+	stats, err := m.Update([]incr.Fact{{Pred: "E", Args: []string{"v0", "v1"}}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Strategy != "noop" {
+		t.Errorf("re-inserting a present fact: strategy %q, want noop", stats.Strategy)
+	}
+}
+
+func TestSnapshotStableAcrossUpdates(t *testing.T) {
+	prog := parser.MustProgram(tcSrc)
+	m := incr.MustNew(prog, graphs.Path(4).Database(), core.LFP)
+	snap := m.Snapshot()
+	before := snap.Rels["s"].Len()
+	if _, err := m.Update([]incr.Fact{{Pred: "E", Args: []string{"v3", "v0"}}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Rels["s"].Len() != before {
+		t.Fatalf("published snapshot changed under an update: %d -> %d", before, snap.Rels["s"].Len())
+	}
+	next := m.Snapshot()
+	if next.Gen <= snap.Gen {
+		t.Fatalf("generation did not advance: %d -> %d", snap.Gen, next.Gen)
+	}
+	if next.Rels["s"].Len() <= before {
+		t.Fatalf("new snapshot missing maintained growth")
+	}
+}

@@ -32,6 +32,14 @@ type compIndex struct {
 	spill  map[string][]int32
 }
 
+// compIndexSet is a generation-stamped immutable map of composite
+// indexes by column bitmask: valid exactly while the relation's
+// mutation generation still equals gen.
+type compIndexSet struct {
+	gen uint64
+	m   map[uint64]*compIndex
+}
+
 // colsMask validates cols (strictly ascending, in range, below 64) and
 // returns the bitmask identifying the index.
 func (r *Relation) colsMask(cols []int) uint64 {
@@ -60,28 +68,28 @@ func (r *Relation) colsMask(cols []int) uint64 {
 // it on first use.  Safe for concurrent use by readers.
 func (r *Relation) compFor(cols []int) *compIndex {
 	mask := r.colsMask(cols)
-	if p := r.cidx.Load(); p != nil {
-		if ci, ok := (*p)[mask]; ok {
+	if p := r.cidx.Load(); p != nil && p.gen == r.gen {
+		if ci, ok := p.m[mask]; ok {
 			return ci
 		}
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	cur := r.cidx.Load()
-	if cur != nil {
-		if ci, ok := (*cur)[mask]; ok {
+	if cur != nil && cur.gen == r.gen {
+		if ci, ok := cur.m[mask]; ok {
 			return ci
 		}
 	}
 	ci := r.buildComp(cols)
 	next := make(map[uint64]*compIndex, 1)
-	if cur != nil {
-		for k, v := range *cur {
+	if cur != nil && cur.gen == r.gen {
+		for k, v := range cur.m {
 			next[k] = v
 		}
 	}
 	next[mask] = ci
-	r.cidx.Store(&next)
+	r.cidx.Store(&compIndexSet{gen: r.gen, m: next})
 	return ci
 }
 

@@ -17,25 +17,60 @@ import (
 // of packed integer keys (see key.go) mapping each tuple to its arena
 // offset — no per-tuple string allocation on the evaluation hot path.
 // Per-column hash indexes map a column value to arena offsets; they are
-// built lazily on first lookup and invalidated on mutation.
+// built lazily on first lookup and stamped with the relation's mutation
+// generation, so a stale index is simply rebuilt on the next probe.
+//
+// Snapshots (see Snapshot and Seal) are O(1) immutable views that share
+// the arena and key maps with the live relation: because offsets are
+// assigned monotonically while the relation only grows, a view of
+// length n is exactly "the first n arena entries", and shared map
+// entries at offsets ≥ n are invisible to it.  The live relation
+// detaches (copies its storage, leaving the old storage to the views)
+// before any mutation that would rewrite the shared prefix: every
+// Remove, and — after Seal — every mutation at all.
 //
 // Concurrency: any number of goroutines may read a relation (Has, Each,
 // Lookup, At, ...) concurrently — lazy index construction is internally
-// synchronized — but mutation requires exclusive access, as before.
+// synchronized — but mutation requires exclusive access with respect to
+// readers of the relation and of any snapshot still sharing its
+// storage.  Sealing removes the latter requirement: after Seal, the
+// first mutation copies the storage, so sealed snapshots may be read by
+// other goroutines while the live relation is updated.
 type Relation struct {
 	arity  int
 	arena  []Tuple          // tuples in insertion order
 	packed map[uint64]int32 // packed key -> arena offset
 	spill  map[string]int32 // fallback key -> arena offset (wide/huge tuples)
 
-	mu   sync.Mutex                            // serializes lazy index builds
-	idx  atomic.Pointer[[]colIndex]            // per-column indexes, nil until built
-	cidx atomic.Pointer[map[uint64]*compIndex] // composite indexes by column mask (see index.go)
+	gen    uint64 // mutation generation, stamps lazily built indexes
+	share  int8   // storage sharing mode (shareNone/shareWeak/shareSealed)
+	frozen bool   // immutable snapshot view; mutation panics
+
+	mu   sync.Mutex                   // serializes lazy index builds
+	idx  atomic.Pointer[colIndexes]   // per-column indexes, nil until built
+	cidx atomic.Pointer[compIndexSet] // composite indexes by column mask (see index.go)
 }
+
+// Storage sharing modes.  shareWeak is set by Snapshot: views share the
+// storage, appends stay invisible to them, but a Remove must detach
+// first.  shareSealed is set by Seal: views may be read concurrently
+// from other goroutines, so any mutation must detach first.
+const (
+	shareNone int8 = iota
+	shareWeak
+	shareSealed
+)
 
 // colIndex maps a column value to the arena offsets of the tuples
 // holding that value in the column.
 type colIndex map[int][]int32
+
+// colIndexes is a generation-stamped set of per-column indexes: valid
+// exactly while the relation's mutation generation still equals gen.
+type colIndexes struct {
+	gen  uint64
+	cols []colIndex
+}
 
 // New returns an empty relation of the given arity.  It panics on a
 // negative arity.
@@ -65,18 +100,110 @@ func (r *Relation) Len() int { return len(r.arena) }
 // Empty reports whether the relation has no tuples.
 func (r *Relation) Empty() bool { return len(r.arena) == 0 }
 
-// offsetOf returns the arena offset of t, or -1 if absent.
+// offsetOf returns the arena offset of t, or -1 if absent.  Offsets at
+// or beyond the arena length belong to tuples appended to a live
+// relation after this view was taken; they are not part of this
+// relation.
 func (r *Relation) offsetOf(t Tuple) int32 {
 	if k, ok := packKey(t); ok {
-		if off, ok := r.packed[k]; ok {
+		if off, ok := r.packed[k]; ok && off < int32(len(r.arena)) {
 			return off
 		}
 		return -1
 	}
-	if off, ok := r.spill[spillKey(t)]; ok {
+	if off, ok := r.spill[spillKey(t)]; ok && off < int32(len(r.arena)) {
 		return off
 	}
 	return -1
+}
+
+// Snapshot returns an O(1) immutable view of the relation's current
+// contents, sharing storage with r.  Tuples added to r afterwards are
+// invisible to the view; a later Remove on r copies r's storage first,
+// so the view stays valid either way.  Mutating the view panics.
+//
+// The view may be read concurrently with other reads, but mutating r
+// while another goroutine reads the view requires r to be sealed first
+// (see Seal); within one goroutine (or any happens-before chain) no
+// sealing is needed.
+func (r *Relation) Snapshot() *Relation {
+	if r.frozen {
+		return r // already an immutable view
+	}
+	if r.share == shareNone {
+		r.share = shareWeak
+	}
+	return r.view()
+}
+
+// Seal marks the relation's storage as published: the next mutation —
+// including appends — will copy the storage, leaving the current arena
+// and key maps exclusively to existing snapshots.  Call it after
+// handing a Snapshot to readers on other goroutines.  Sealing an
+// already-sealed or frozen relation is a no-op.
+func (r *Relation) Seal() {
+	if !r.frozen {
+		r.share = shareSealed
+	}
+}
+
+// view builds the frozen snapshot struct sharing r's storage.
+func (r *Relation) view() *Relation {
+	n := len(r.arena)
+	return &Relation{
+		arity:  r.arity,
+		arena:  r.arena[:n:n],
+		packed: r.packed,
+		spill:  r.spill,
+		frozen: true,
+	}
+}
+
+// beforeMutate enforces the mutation contract: frozen views reject
+// mutation, and shared storage is detached first when the mutation
+// would otherwise corrupt live snapshots (any mutation once sealed;
+// removals under weak sharing, where removeOnly reports false).
+func (r *Relation) beforeMutate(appendOnly bool) {
+	if r.frozen {
+		panic("relation: mutating an immutable snapshot")
+	}
+	if r.share == shareSealed || (r.share == shareWeak && !appendOnly) {
+		r.detach()
+	}
+}
+
+// detach copies the arena and key maps so existing snapshots keep the
+// old storage exclusively.  Offsets are preserved, so cached indexes
+// stay valid.
+func (r *Relation) detach() {
+	arena := make([]Tuple, len(r.arena))
+	copy(arena, r.arena)
+	packed := make(map[uint64]int32, len(r.packed))
+	for k, off := range r.packed {
+		if off < int32(len(arena)) {
+			packed[k] = off
+		}
+	}
+	r.arena, r.packed = arena, packed
+	if len(r.spill) > 0 {
+		spill := make(map[string]int32, len(r.spill))
+		for k, off := range r.spill {
+			if off < int32(len(arena)) {
+				spill[k] = off
+			}
+		}
+		r.spill = spill
+	}
+	r.share = shareNone
+}
+
+// Mutable returns r if it is mutable, or a deep copy if r is an
+// immutable snapshot view.
+func (r *Relation) Mutable() *Relation {
+	if !r.frozen {
+		return r
+	}
+	return r.Clone()
 }
 
 // Add inserts t, reporting whether it was new.  It panics if the arity
@@ -87,34 +214,29 @@ func (r *Relation) Add(t Tuple) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("relation: adding tuple of arity %d to relation of arity %d", len(t), r.arity))
 	}
-	if !r.insertKey(t) {
+	if r.Has(t) {
 		return false
 	}
+	r.beforeMutate(true)
+	r.insertKey(t)
 	r.arena = append(r.arena, t.Clone())
 	r.invalidate()
 	return true
 }
 
-// insertKey records t's key at the next arena offset, reporting false
-// on duplicate.  The caller appends the tuple itself.
-func (r *Relation) insertKey(t Tuple) bool {
+// insertKey records t's key at the next arena offset.  Callers have
+// already rejected duplicates (via Has); the caller appends the tuple
+// itself.
+func (r *Relation) insertKey(t Tuple) {
 	off := int32(len(r.arena))
 	if k, ok := packKey(t); ok {
-		if _, dup := r.packed[k]; dup {
-			return false
-		}
 		r.packed[k] = off
-		return true
-	}
-	sk := spillKey(t)
-	if _, dup := r.spill[sk]; dup {
-		return false
+		return
 	}
 	if r.spill == nil {
 		r.spill = make(map[string]int32)
 	}
-	r.spill[sk] = off
-	return true
+	r.spill[spillKey(t)] = off
 }
 
 // Has reports whether t is present.
@@ -126,7 +248,9 @@ func (r *Relation) Has(t Tuple) bool {
 }
 
 // Remove deletes t, reporting whether it was present.  The arena stays
-// dense: the last tuple is swapped into the vacated slot.
+// dense: the last tuple is swapped into the vacated slot.  If snapshots
+// share the storage, it is detached first, so they keep seeing the
+// pre-removal contents.
 func (r *Relation) Remove(t Tuple) bool {
 	if len(t) != r.arity {
 		return false
@@ -135,6 +259,7 @@ func (r *Relation) Remove(t Tuple) bool {
 	if off < 0 {
 		return false
 	}
+	r.beforeMutate(false)
 	r.deleteKey(r.arena[off])
 	last := int32(len(r.arena) - 1)
 	if off != last {
@@ -152,17 +277,10 @@ func (r *Relation) Remove(t Tuple) bool {
 	return true
 }
 
-// invalidate drops cached indexes (per-column and composite) after a
-// mutation.  The load guards keep mutation-heavy phases (which never
-// build an index) free of the atomic-store cost on every Add.
-func (r *Relation) invalidate() {
-	if r.idx.Load() != nil {
-		r.idx.Store(nil)
-	}
-	if r.cidx.Load() != nil {
-		r.cidx.Store(nil)
-	}
-}
+// invalidate bumps the mutation generation after a mutation.  Cached
+// indexes are stamped with the generation they were built at, so a
+// bumped generation makes them stale; the next probe rebuilds.
+func (r *Relation) invalidate() { r.gen++ }
 
 func (r *Relation) deleteKey(t Tuple) {
 	if k, ok := packKey(t); ok {
@@ -194,9 +312,9 @@ func (r *Relation) Each(f func(Tuple) bool) {
 // Lookup.  Callers must not mutate it.
 func (r *Relation) At(off int32) Tuple { return r.arena[off] }
 
-// Clone returns a deep copy (indexes are not copied; they rebuild on
-// demand).  Tuples themselves are shared: they are immutable by
-// contract.
+// Clone returns a mutable deep copy (indexes are not copied; they
+// rebuild on demand).  Tuples themselves are shared: they are immutable
+// by contract.
 func (r *Relation) Clone() *Relation {
 	c := &Relation{
 		arity:  r.arity,
@@ -204,6 +322,20 @@ func (r *Relation) Clone() *Relation {
 		packed: make(map[uint64]int32, len(r.packed)),
 	}
 	copy(c.arena, r.arena)
+	if r.frozen {
+		// Shared maps may hold entries past the view; rebuild exactly.
+		for off, t := range c.arena {
+			if k, ok := packKey(t); ok {
+				c.packed[k] = int32(off)
+			} else {
+				if c.spill == nil {
+					c.spill = make(map[string]int32)
+				}
+				c.spill[spillKey(t)] = int32(off)
+			}
+		}
+		return c
+	}
 	for k, off := range r.packed {
 		c.packed[k] = off
 	}
@@ -222,18 +354,15 @@ func (r *Relation) Equal(o *Relation) bool {
 	return r.arity == o.arity && len(r.arena) == len(o.arena) && r.SubsetOf(o)
 }
 
-// SubsetOf reports whether every tuple of r is in o.
+// SubsetOf reports whether every tuple of r is in o.  It iterates the
+// arena rather than the key maps, so it is exact for snapshot views,
+// whose shared maps may hold entries past the view.
 func (r *Relation) SubsetOf(o *Relation) bool {
 	if r.arity != o.arity || len(r.arena) > len(o.arena) {
 		return false
 	}
-	for k := range r.packed {
-		if _, ok := o.packed[k]; !ok {
-			return false
-		}
-	}
-	for k := range r.spill {
-		if _, ok := o.spill[k]; !ok {
+	for _, t := range r.arena {
+		if o.offsetOf(t) < 0 {
 			return false
 		}
 	}
@@ -264,9 +393,11 @@ func (r *Relation) UnionWith(o *Relation) int {
 // is never mutated afterwards.  It does not invalidate indexes; bulk
 // callers do that once.
 func (r *Relation) addOwned(t Tuple) bool {
-	if !r.insertKey(t) {
+	if r.Has(t) {
 		return false
 	}
+	r.beforeMutate(true)
+	r.insertKey(t)
 	r.arena = append(r.arena, t)
 	return true
 }
@@ -311,17 +442,18 @@ func (r *Relation) Diff(o *Relation) *Relation {
 }
 
 // cols returns the per-column indexes, building all of them on first
-// use.  The build is synchronized so concurrent readers are safe; the
-// arity is small in practice, so building every column at once costs
-// about as much as building one.
+// use and rebuilding when the cached set's generation stamp no longer
+// matches the relation's.  The build is synchronized so concurrent
+// readers are safe; the arity is small in practice, so building every
+// column at once costs about as much as building one.
 func (r *Relation) cols() []colIndex {
-	if p := r.idx.Load(); p != nil {
-		return *p
+	if p := r.idx.Load(); p != nil && p.gen == r.gen {
+		return p.cols
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if p := r.idx.Load(); p != nil {
-		return *p
+	if p := r.idx.Load(); p != nil && p.gen == r.gen {
+		return p.cols
 	}
 	cols := make([]colIndex, r.arity)
 	for c := range cols {
@@ -332,7 +464,7 @@ func (r *Relation) cols() []colIndex {
 			cols[c][v] = append(cols[c][v], int32(off))
 		}
 	}
-	r.idx.Store(&cols)
+	r.idx.Store(&colIndexes{gen: r.gen, cols: cols})
 	return cols
 }
 

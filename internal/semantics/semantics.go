@@ -69,6 +69,15 @@ func InflationaryMode(in *engine.Instance, mode Mode) *Result {
 	return lfpLoop(in, nil, mode)
 }
 
+// InflationaryLog is InflationaryMode with a per-stage observer: log is
+// called with an immutable O(1) snapshot of every stage S₁ ⊆ S₂ ⊆ … of
+// the induction (S₀ = ∅ is implicit), the last call being the fixpoint
+// itself.  The incremental-maintenance layer persists these snapshots
+// as its replay log.
+func InflationaryLog(in *engine.Instance, mode Mode, log func(stage engine.State)) *Result {
+	return lfpLoopLog(in, nil, mode, log)
+}
+
 // LeastFixpoint computes the standard least-fixpoint semantics.  It
 // errors unless the program is monotone in its IDB relations (positive
 // or semipositive), since for general DATALOG¬ a least fixpoint may
@@ -93,6 +102,14 @@ func LeastFixpointMode(in *engine.Instance, mode Mode) (*Result, error) {
 // semantics); the iterated operator is then monotone and the loop
 // yields its least fixpoint.
 func lfpLoop(in *engine.Instance, negFixed engine.State, mode Mode) *Result {
+	return lfpLoopLog(in, negFixed, mode, nil)
+}
+
+// lfpLoopLog is lfpLoop with an optional per-stage observer.  The loop
+// never deep-copies the state: the previous stage and the round-1 delta
+// are O(1) structural-sharing snapshots of cur, which stay valid while
+// cur only grows (the inflationary invariant).
+func lfpLoopLog(in *engine.Instance, negFixed engine.State, mode Mode, log func(engine.State)) *Result {
 	stats := Stats{}
 	prev := in.NewState()
 
@@ -105,7 +122,10 @@ func lfpLoop(in *engine.Instance, negFixed engine.State, mode Mode) *Result {
 
 	cur := in.ApplySplit(prev, negOf(prev))
 	stats.Rounds = 1
-	delta := cur.Clone()
+	delta := cur.Snapshot()
+	if log != nil {
+		log(delta)
+	}
 	if n := delta.Total(); n > stats.MaxDeltaTuples {
 		stats.MaxDeltaTuples = n
 	}
@@ -125,8 +145,11 @@ func lfpLoop(in *engine.Instance, negFixed engine.State, mode Mode) *Result {
 		if n := newDelta.Total(); n > stats.MaxDeltaTuples {
 			stats.MaxDeltaTuples = n
 		}
-		prev = cur.Clone()
+		prev = cur.Snapshot()
 		cur.UnionWith(newDelta)
+		if log != nil {
+			log(cur.Snapshot())
+		}
 		delta = newDelta
 	}
 	stats.Tuples = cur.Total()

@@ -1,0 +1,220 @@
+// Package server exposes an incrementally maintained DATALOG¬ program
+// over HTTP/JSON: point-in-time reads served from immutable snapshots
+// by any number of concurrent readers, and fact updates applied by a
+// single serialized maintainer.
+//
+// Endpoints:
+//
+//	GET  /v1/stats               program, semantics, generation, sizes
+//	GET  /v1/relation?pred=s     all tuples of one relation
+//	POST /v1/query               {"pred":"s","args":["v1",null]}  — null is a wildcard
+//	POST /v1/update              {"insert":[{"pred":"E","args":["a","b"]}],"delete":[...]}
+//
+// Reads load the current snapshot pointer atomically and never block on
+// updates; updates run under a mutex, maintain the state through
+// internal/incr, and publish a fresh sealed snapshot.  Pattern queries
+// with multiple bound columns probe the snapshot's composite indexes.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/incr"
+	"repro/internal/relation"
+)
+
+// Server serves one maintained program instance.
+type Server struct {
+	prog  *ast.Program
+	class string     // prog's syntactic class, computed once (Classify stratifies)
+	mu    sync.Mutex // serializes updates (the single maintainer)
+	m     *incr.Maintainer
+	cur   atomic.Pointer[incr.Snapshot]
+	start time.Time
+}
+
+// New builds a server maintaining prog on a private copy of db under
+// the given semantics, with the initial evaluation done and published.
+func New(prog *ast.Program, db *relation.Database, sem core.Semantics) (*Server, error) {
+	m, err := incr.New(prog, db, sem)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{prog: prog, class: prog.Classify().String(), m: m, start: time.Now()}
+	s.cur.Store(m.Snapshot())
+	return s, nil
+}
+
+// Snapshot returns the currently published snapshot.
+func (s *Server) Snapshot() *incr.Snapshot { return s.cur.Load() }
+
+// Update applies an update through the maintainer and publishes the new
+// snapshot, returning both.  Safe for concurrent use; updates are
+// serialized, and the returned snapshot is the one this update
+// published (a fresh s.cur.Load() could already belong to a later
+// update).
+func (s *Server) Update(ins, del []incr.Fact) (*incr.UpdateStats, *incr.Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stats, err := s.m.Update(ins, del)
+	if err != nil {
+		return nil, nil, err
+	}
+	snap := s.m.Snapshot()
+	s.cur.Store(snap)
+	return stats, snap, nil
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/relation", s.handleRelation)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/update", s.handleUpdate)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	snap := s.cur.Load()
+	sizes := make(map[string]int, len(snap.Rels))
+	for name, r := range snap.Rels {
+		sizes[name] = r.Len()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"semantics":  snap.Sem.String(),
+		"class":      s.class,
+		"generation": snap.Gen,
+		"universe":   snap.Universe.Size(),
+		"relations":  sizes,
+		"uptime_sec": time.Since(s.start).Seconds(),
+	})
+}
+
+// names renders a tuple through the snapshot's universe.
+func names(u *relation.Universe, t relation.Tuple) []string {
+	out := make([]string, len(t))
+	for i, v := range t {
+		out[i] = u.Name(v)
+	}
+	return out
+}
+
+func (s *Server) handleRelation(w http.ResponseWriter, r *http.Request) {
+	snap := s.cur.Load()
+	pred := r.URL.Query().Get("pred")
+	rel := snap.Relation(pred)
+	if rel == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown relation %q", pred))
+		return
+	}
+	tuples := make([][]string, 0, rel.Len())
+	for _, t := range rel.Tuples() {
+		tuples = append(tuples, names(snap.Universe, t))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"pred": pred, "arity": rel.Arity(), "generation": snap.Gen, "tuples": tuples,
+	})
+}
+
+// queryReq is a pattern match: nil args are wildcards.
+type queryReq struct {
+	Pred string    `json:"pred"`
+	Args []*string `json:"args"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var q queryReq
+	if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	snap := s.cur.Load()
+	rel := snap.Relation(q.Pred)
+	if rel == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown relation %q", q.Pred))
+		return
+	}
+	if len(q.Args) != rel.Arity() {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("%s has arity %d, got %d args", q.Pred, rel.Arity(), len(q.Args)))
+		return
+	}
+	var cols, vals []int
+	known := true
+	for i, a := range q.Args {
+		if a == nil {
+			continue
+		}
+		id, ok := snap.Universe.Lookup(*a)
+		if !ok {
+			known = false // constant not in the universe: nothing can match
+			break
+		}
+		cols = append(cols, i)
+		vals = append(vals, id)
+	}
+	tuples := [][]string{}
+	if known {
+		switch {
+		case len(cols) == rel.Arity() && rel.Arity() > 0:
+			if rel.Has(relation.Tuple(vals)) {
+				tuples = append(tuples, names(snap.Universe, relation.Tuple(vals)))
+			}
+		case len(cols) == 0:
+			for _, t := range rel.Tuples() {
+				tuples = append(tuples, names(snap.Universe, t))
+			}
+		case len(cols) == 1:
+			for _, off := range rel.Lookup(cols[0], vals[0]) {
+				tuples = append(tuples, names(snap.Universe, rel.At(off)))
+			}
+		default:
+			for _, off := range rel.LookupCols(cols, vals) {
+				tuples = append(tuples, names(snap.Universe, rel.At(off)))
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"pred": q.Pred, "generation": snap.Gen, "count": len(tuples), "tuples": tuples,
+	})
+}
+
+// updateReq carries fact inserts and deletes.
+type updateReq struct {
+	Insert []incr.Fact `json:"insert"`
+	Delete []incr.Fact `json:"delete"`
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var u updateReq
+	if err := json.NewDecoder(r.Body).Decode(&u); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	stats, snap, err := s.Update(u.Insert, u.Delete)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation": snap.Gen,
+		"stats":      stats,
+	})
+}

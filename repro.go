@@ -22,6 +22,7 @@ package repro
 import (
 	"repro/internal/ast"
 	"repro/internal/core"
+	"repro/internal/incr"
 	"repro/internal/parser"
 	"repro/internal/relation"
 	"repro/internal/semantics"
@@ -76,4 +77,30 @@ func WellFounded(prog *Program, db *Database) (*Result, error) {
 // package) least-fixpoint existence.
 func Analyze(prog *Program, db *Database) (*Report, error) {
 	return core.Analyze(prog, db, core.AnalyzeOptions{})
+}
+
+// Semantics selects an evaluation semantics for Maintain.
+type Semantics = core.Semantics
+
+// The four semantics, for Maintain.
+const (
+	SemanticsInflationary Semantics = core.Inflationary
+	SemanticsLFP          Semantics = core.LFP
+	SemanticsStratified   Semantics = core.Stratified
+	SemanticsWellFounded  Semantics = core.WellFounded
+)
+
+// Maintainer keeps the materialized result of a program exact under
+// EDB fact inserts and deletes (see internal/incr): counting/DRed
+// maintenance for stratified strata, stage-log replay for general
+// inflationary programs.
+type Maintainer = incr.Maintainer
+
+// Fact is one EDB tuple, named by constants, for Maintainer updates.
+type Fact = incr.Fact
+
+// Maintain evaluates prog on a private copy of db under sem and
+// returns a maintainer ready for incremental updates.
+func Maintain(prog *Program, db *Database, sem Semantics) (*Maintainer, error) {
+	return incr.New(prog, db, sem)
 }

@@ -1,0 +1,114 @@
+// Command benchjson converts `go test -bench` output into JSON, so CI
+// can archive machine-readable benchmark results (BENCH_PR3.json) and
+// the perf trajectory across PRs can be diffed mechanically instead of
+// by eyeballing logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . . | go run ./scripts/benchjson > BENCH.json
+//	go run ./scripts/benchjson bench-output.txt > BENCH.json
+//
+// Repeated runs of the same benchmark (-count > 1) are kept as separate
+// samples; consumers aggregate as they see fit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Sample is one benchmark result line.
+type Sample struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// Extra metrics (B/op, allocs/op, custom units) keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	GeneratedAt time.Time `json:"generated_at"`
+	Goos        string    `json:"goos,omitempty"`
+	Goarch      string    `json:"goarch,omitempty"`
+	Pkg         string    `json:"pkg,omitempty"`
+	CPU         string    `json:"cpu,omitempty"`
+	Samples     []Sample  `json:"samples"`
+}
+
+func main() {
+	var in io.Reader = os.Stdin
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	rep := Report{GeneratedAt: time.Now().UTC(), Samples: []Sample{}}
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if s, ok := parseLine(line); ok {
+				rep.Samples = append(rep.Samples, s)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses "BenchmarkX-8  100  123 ns/op  45 B/op  6 allocs/op".
+func parseLine(line string) (Sample, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Sample{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Sample{}, false
+	}
+	s := Sample{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	// Value/unit pairs follow.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Sample{}, false
+		}
+		if fields[i+1] == "ns/op" {
+			s.NsPerOp = v
+		} else {
+			s.Metrics[fields[i+1]] = v
+		}
+	}
+	if len(s.Metrics) == 0 {
+		s.Metrics = nil
+	}
+	return s, true
+}
