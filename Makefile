@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench bench-smoke bench-json staticcheck ci
+.PHONY: all build test race vet fmt fmt-check bench bench-smoke bench-json profile staticcheck ci
 
 all: build
 
@@ -37,27 +37,43 @@ bench-smoke:
 	$(GO) run ./cmd/bench -quick -exp E1 | tee -a bench-smoke.txt
 
 # Machine-readable results for the perf trajectory: the headline series
-# (E8 fixpoint, E10 distance, E13 planner, E14 incremental updates)
-# rendered to BENCH_PR3.json, which CI uploads as an artifact.
+# (E8 fixpoint, E10 distance, E13 planner, E14 incremental updates, E15
+# frontier scaling) rendered to BENCH_PR4.json — committed to the repo
+# (and uploaded by CI) so the trajectory survives across PRs.  Fixed
+# -benchtime/-count: medians over 5 runs of ≥100ms, not 1-iteration
+# smoke samples.
 bench-json:
-	$(GO) test -run '^$$' -bench 'E8Inflationary|E10Distance|E13JoinPlanner|E14IncrementalUpdate' \
-		-benchtime 100ms -count 3 . | tee bench-json.txt
-	$(GO) run ./scripts/benchjson bench-json.txt > BENCH_PR3.json
+	$(GO) test -run '^$$' -bench 'E8Inflationary|E10Distance|E13JoinPlanner|E14IncrementalUpdate|E15FrontierScaling' \
+		-benchtime 100ms -count 5 . | tee bench-json.txt
+	$(GO) run ./scripts/benchjson bench-json.txt > BENCH_PR4.json
+
+# CPU + allocation profiles of the hot evaluation path (the E8/E10
+# series), written to profiles/, with a top-20 summary printed for each
+# — so future perf PRs start from data, not guesses.
+# Inspect interactively with: go tool pprof profiles/repro.test profiles/cpu.pprof
+profile:
+	mkdir -p profiles
+	$(GO) test -run '^$$' -bench 'E8Inflationary|E10Distance' -benchtime 500ms \
+		-cpuprofile profiles/cpu.pprof -memprofile profiles/mem.pprof \
+		-o profiles/repro.test .
+	$(GO) tool pprof -top -nodecount 20 profiles/repro.test profiles/cpu.pprof
+	$(GO) tool pprof -top -nodecount 20 -sample_index=alloc_space profiles/repro.test profiles/mem.pprof
 
 # Static analysis beyond go vet; pinned so local runs and CI agree.
 STATICCHECK_VERSION ?= 2025.1.1
 staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
-# Local mirror of the CI benchstat gate: compare the E8/E10 series on
-# BASE (default HEAD~1) against the working tree, failing on >15%
-# median regressions.
+# Local mirror of the CI benchstat gate: compare the E8/E10/E15 series
+# on BASE (default HEAD~1) against the working tree, failing on >15%
+# median regressions.  Series missing on BASE (e.g. a newly added
+# benchmark) are skipped by benchdiff.
 BASE ?= HEAD~1
 bench-compare:
 	rm -rf /tmp/bench-base && git worktree prune
 	git worktree add /tmp/bench-base $(BASE)
-	cd /tmp/bench-base && $(GO) test -run '^$$' -bench 'E8Inflationary|E10Distance' -benchtime 100ms -count 7 . > /tmp/bench-base.txt
-	$(GO) test -run '^$$' -bench 'E8Inflationary|E10Distance' -benchtime 100ms -count 7 . > /tmp/bench-head.txt
+	cd /tmp/bench-base && $(GO) test -run '^$$' -bench 'E8Inflationary|E10Distance|E15FrontierScaling' -benchtime 100ms -count 7 . > /tmp/bench-base.txt
+	$(GO) test -run '^$$' -bench 'E8Inflationary|E10Distance|E15FrontierScaling' -benchtime 100ms -count 7 . > /tmp/bench-head.txt
 	$(GO) run ./scripts/benchdiff -threshold 15 /tmp/bench-base.txt /tmp/bench-head.txt
 	git worktree remove --force /tmp/bench-base
 

@@ -27,10 +27,17 @@ func main() {
 		semName     = flag.String("semantics", "inflationary", "inflationary|lfp|stratified|wellfounded")
 		modeName    = flag.String("mode", "seminaive", "seminaive|naive stage evaluation")
 		stats       = flag.Bool("stats", false, "print evaluation statistics")
+		workers     = flag.Int("workers", 0, "Θ evaluation worker-pool size (0 = GOMAXPROCS)")
 		planner     = flag.Bool("planner", true, "cost-based join planning (false = syntactic literal order)")
+		frontier    = flag.Bool("frontier", true, "fused dedup-at-emit derivation (false = derive+Diff baseline)")
+		shard       = flag.Bool("shard", true, "intra-rule data-parallel sharding when rules < workers")
 		explain     = flag.Bool("explain", false, "print per-rule evaluation plans at the computed fixpoint")
 	)
 	flag.Parse()
+	engine.SetDefaultWorkers(*workers)
+	engine.SetDefaultCostPlanner(*planner)
+	engine.SetDefaultFrontier(*frontier)
+	engine.SetDefaultSharding(*shard)
 	if *programPath == "" || *factsPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: datalog -program FILE -facts FILE [-semantics NAME]")
 		flag.PrintDefaults()
@@ -58,7 +65,6 @@ func main() {
 		fatal(fmt.Errorf("unknown mode %q", *modeName))
 	}
 
-	engine.SetDefaultCostPlanner(*planner)
 	res, err := core.Eval(prog, db, sem, mode)
 	if err != nil {
 		fatal(err)

@@ -30,10 +30,14 @@ func main() {
 		stable      = flag.Bool("stable", false, "also enumerate stable models (answer sets)")
 		workers     = flag.Int("workers", 0, "Θ evaluation worker-pool size (0 = GOMAXPROCS)")
 		planner     = flag.Bool("planner", true, "cost-based join planning (false = syntactic literal order)")
+		frontier    = flag.Bool("frontier", true, "fused dedup-at-emit derivation (false = derive+Diff baseline)")
+		shard       = flag.Bool("shard", true, "intra-rule data-parallel sharding when rules < workers")
 	)
 	flag.Parse()
 	engine.SetDefaultWorkers(*workers)
 	engine.SetDefaultCostPlanner(*planner)
+	engine.SetDefaultFrontier(*frontier)
+	engine.SetDefaultSharding(*shard)
 	if *programPath == "" || *factsPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: fixpoint -program FILE -facts FILE [-count N] [-least] [-enumerate N]")
 		flag.PrintDefaults()

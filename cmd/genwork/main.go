@@ -39,12 +39,16 @@ func main() {
 		// Flag parity with cmd/datalog and cmd/bench: workload
 		// generation that evaluates programs (e.g. SAT instance
 		// validation) runs on the same engine knobs.
-		workers = flag.Int("workers", 0, "Θ evaluation worker-pool size (0 = GOMAXPROCS)")
-		planner = flag.Bool("planner", true, "cost-based join planning (false = syntactic literal order)")
+		workers  = flag.Int("workers", 0, "Θ evaluation worker-pool size (0 = GOMAXPROCS)")
+		planner  = flag.Bool("planner", true, "cost-based join planning (false = syntactic literal order)")
+		frontier = flag.Bool("frontier", true, "fused dedup-at-emit derivation (false = derive+Diff baseline)")
+		shard    = flag.Bool("shard", true, "intra-rule data-parallel sharding when rules < workers")
 	)
 	flag.Parse()
 	engine.SetDefaultWorkers(*workers)
 	engine.SetDefaultCostPlanner(*planner)
+	engine.SetDefaultFrontier(*frontier)
+	engine.SetDefaultSharding(*shard)
 
 	switch *kind {
 	case "3sat", "ksat", "unique", "pigeonhole":

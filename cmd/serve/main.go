@@ -43,6 +43,8 @@ func main() {
 		addr        = flag.String("addr", ":8090", "listen address")
 		workers     = flag.Int("workers", 0, "Θ evaluation worker-pool size (0 = GOMAXPROCS)")
 		planner     = flag.Bool("planner", true, "cost-based join planning (false = syntactic literal order)")
+		frontier    = flag.Bool("frontier", true, "fused dedup-at-emit derivation (false = derive+Diff baseline)")
+		shard       = flag.Bool("shard", true, "intra-rule data-parallel sharding when rules < workers")
 	)
 	flag.Parse()
 	if *programPath == "" || *factsPath == "" {
@@ -52,6 +54,8 @@ func main() {
 	}
 	engine.SetDefaultWorkers(*workers)
 	engine.SetDefaultCostPlanner(*planner)
+	engine.SetDefaultFrontier(*frontier)
+	engine.SetDefaultSharding(*shard)
 
 	prog, err := parser.ProgramFile(*programPath)
 	if err != nil {

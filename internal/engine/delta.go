@@ -48,7 +48,7 @@ type Delta struct {
 // positive IDB literals against pos, negated IDB literals against neg,
 // EDB literals against the database.
 func (in *Instance) ApplyDeltas(pos, neg State, deltas map[string]Delta) State {
-	return in.runTasks(in.deltaTasks(deltas), pos, neg)
+	return in.runTasks(in.deltaTasks(deltas), pos, neg, runOpts{shard: true})
 }
 
 // ApplyDeltasCount is ApplyDeltas in counting mode: it returns, per
@@ -64,11 +64,7 @@ func (in *Instance) ApplyDeltasCount(pos, neg State, deltas map[string]Delta) ma
 // of distinct rule-body embeddings deriving it.  This is the initial
 // support count of the counting maintenance algorithm.
 func (in *Instance) ApplyCount(pos, neg State) map[string]*relation.Multiset {
-	tasks := make([]evalTask, len(in.plans))
-	for i, rp := range in.plans {
-		tasks[i] = evalTask{rp: rp}
-	}
-	return in.runTasksCount(tasks, pos, neg)
+	return in.runTasksCount(in.fullTasks(), pos, neg)
 }
 
 // ApplyWithin evaluates the rules whose head predicate appears in
@@ -97,11 +93,12 @@ func (in *Instance) ApplyWithin(pos, neg State, filter map[string]*relation.Rela
 		copy(rp2.positives, rp.positives)
 		rp2.positives = append(rp2.positives, litPlan{pred: rp.headPred, slots: rp.headSlots})
 		tasks = append(tasks, evalTask{
-			rp:  rp2,
-			pos: map[int]*relation.Relation{len(rp2.positives) - 1: f},
+			rp:     rp2,
+			pos:    map[int]*relation.Relation{len(rp2.positives) - 1: f},
+			driver: len(rp2.positives) - 1,
 		})
 	}
-	return in.runTasks(tasks, pos, neg)
+	return in.runTasks(tasks, pos, neg, runOpts{shard: true})
 }
 
 // flipNeg returns a variant of rp where the j-th negated literal is
@@ -157,6 +154,10 @@ func (in *Instance) deltaTasks(deltas map[string]Delta) []evalTask {
 			if dv.flip {
 				rp2, flipIdx = flipNeg(rp, dv.idx)
 			}
+			driverLit := dv.idx // positive-literal index of the driver
+			if dv.flip {
+				driverLit = flipIdx
+			}
 			posOv := make(map[int]*relation.Relation)
 			negOv := make(map[int]*relation.Relation)
 			for i, lp := range rp.positives {
@@ -200,7 +201,7 @@ func (in *Instance) deltaTasks(deltas map[string]Delta) []evalTask {
 			if dv.flip {
 				posOv[flipIdx] = deltas[rp.negatives[dv.idx].pred].NegDriver
 			}
-			tasks = append(tasks, evalTask{rp: rp2, pos: posOv, neg: negOv})
+			tasks = append(tasks, evalTask{rp: rp2, pos: posOv, neg: negOv, driver: driverLit})
 		}
 	}
 	return tasks

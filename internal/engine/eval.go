@@ -16,10 +16,20 @@ import (
 // so the hot path allocates only when a genuinely new tuple is stored.
 // When cnt is non-nil the task is a counting pass: every emission bumps
 // the head tuple's derivation count instead of inserting into out.
+//
+// cur, when non-nil, is the frontier filter: emissions already present
+// in it are dropped at emit time (a read-only membership probe fused
+// into the insert, see Relation.AddNotIn), so a frontier pass returns
+// exactly the genuinely-new tuples without a derived state or a Diff.
+// parts, when non-nil, replaces out with hash-partitioned buckets so
+// per-worker outputs can be merged bucket-by-bucket and concatenated
+// disjointly.
 type evalCtx struct {
 	pos     []*relation.Relation
 	neg     []*relation.Relation
 	out     *relation.Relation
+	parts   []*relation.Relation
+	cur     *relation.Relation
 	cnt     *relation.Multiset
 	usize   int
 	headBuf relation.Tuple
@@ -30,10 +40,20 @@ type evalCtx struct {
 // per-literal relation overrides (the semi-naive and delta variants).
 // pos[i] overrides the relation read by the i-th positive literal,
 // neg[j] the relation checked by the j-th negated literal.
+//
+// driver is the positive-literal index whose relation drives the task
+// (the semi-naive delta, or the ApplyWithin filter); -1 when the task
+// has no distinguished driver.  It is the preferred split target for
+// intra-rule sharding.  A sharded task restricts the enumeration of
+// literal shardLit to the arena range [shardLo, shardHi); shardHi == 0
+// means the task is unsharded.
 type evalTask struct {
-	rp  *rulePlan
-	pos map[int]*relation.Relation
-	neg map[int]*relation.Relation
+	rp               *rulePlan
+	pos              map[int]*relation.Relation
+	neg              map[int]*relation.Relation
+	driver           int
+	shardLit         int
+	shardLo, shardHi int32
 }
 
 // Apply computes Θ(S̄): the relations derived from the database and s by
@@ -52,11 +72,17 @@ func (in *Instance) Apply(s State) State { return in.ApplySplit(s, s) }
 // per-worker states are merged by set union at the end, so the result
 // is identical to sequential evaluation.
 func (in *Instance) ApplySplit(pos, neg State) State {
+	return in.runTasks(in.fullTasks(), pos, neg, runOpts{shard: true})
+}
+
+// fullTasks builds one driverless task per rule plan — the task set of
+// a full Θ application.
+func (in *Instance) fullTasks() []evalTask {
 	tasks := make([]evalTask, len(in.plans))
 	for i, rp := range in.plans {
-		tasks[i] = evalTask{rp: rp}
+		tasks[i] = evalTask{rp: rp, driver: -1}
 	}
-	return in.runTasks(tasks, pos, neg)
+	return tasks
 }
 
 // ApplyDelta computes the subset of Θ(cur) derivable by rule
@@ -82,52 +108,148 @@ func (in *Instance) ApplyDeltaSplit(old, delta, cur, neg State) State {
 	for pred, d := range delta {
 		deltas[pred] = Delta{PosDriver: d, Before: old[pred]}
 	}
-	return in.runTasks(in.deltaTasks(deltas), cur, neg)
+	return in.runTasks(in.deltaTasks(deltas), cur, neg, runOpts{shard: true})
+}
+
+// runOpts tunes one runTasks pass.
+type runOpts struct {
+	// frontier, when non-nil, drops every emission whose head tuple is
+	// already present in frontier[headPred]: the pass returns exactly the
+	// genuinely-new tuples, with no derived state and no Diff.
+	frontier State
+	// hints pre-sizes per-predicate outputs from the caller's expected
+	// cardinality (typically last round's delta), and selects which
+	// predicates get hash-partitioned per-worker outputs.
+	hints map[string]int
+	// shard allows intra-rule data parallelism: when tasks < workers,
+	// tasks are split into arena-range shards of their driver relation so
+	// every worker gets work even on programs with few rules.
+	shard bool
+}
+
+// workerOut is one worker's private derivation output.  Most predicates
+// derive into out; predicates expected to produce large deltas (hints ≥
+// partitionThreshold) derive into parts — nbuckets relations partitioned
+// by head-tuple hash — so the cross-worker merge can run bucket-by-
+// bucket in parallel and assemble the result by disjoint concatenation
+// instead of one serial re-hashed union.
+type workerOut struct {
+	out     State
+	parts   map[string][]*relation.Relation
+	against State // frontier filter, nil when the pass keeps everything
+}
+
+// partitionThreshold is the expected per-predicate cardinality above
+// which parallel frontier passes switch that predicate's per-worker
+// output to hash-partitioned buckets.  Below it the partitions' fixed
+// cost (nbuckets relations per worker) outweighs the parallel merge.
+const partitionThreshold = 1024
+
+// newWorkerOut builds a worker's output for the given pass shape.
+// nbuckets ≤ 1 disables partitioning (the sequential path and legacy
+// union merges).
+func (in *Instance) newWorkerOut(opts runOpts, nbuckets int) *workerOut {
+	wo := &workerOut{out: in.NewState(), against: opts.frontier}
+	for pred, n := range opts.hints {
+		if r := wo.out[pred]; r != nil {
+			if nbuckets > 1 && n >= partitionThreshold {
+				parts := make([]*relation.Relation, nbuckets)
+				for b := range parts {
+					parts[b] = relation.New(r.Arity())
+					parts[b].ReserveHint(n / nbuckets)
+				}
+				if wo.parts == nil {
+					wo.parts = make(map[string][]*relation.Relation)
+				}
+				wo.parts[pred] = parts
+			} else {
+				r.ReserveHint(n)
+			}
+		}
+	}
+	return wo
 }
 
 // runTasks evaluates every task against (pos, neg) and returns the
-// union of their derivations.  With more than one task and more than
-// one configured worker, tasks are distributed over a pool of
-// goroutines, each deriving into a private output state; because the
-// final merge is a union of sets, the result is bit-exact regardless
+// union of their derivations (minus opts.frontier, when set).  With
+// more than one task and more than one configured worker, tasks are
+// distributed over a pool of goroutines, each deriving into a private
+// output; because the final merge is a union of sets (or a disjoint
+// concatenation of hash partitions), the result is bit-exact regardless
 // of worker count or scheduling order.  Input states are only read:
 // lazy index construction inside Relation is internally synchronized.
-func (in *Instance) runTasks(tasks []evalTask, pos, neg State) State {
+//
+// When opts.shard is set and there are fewer tasks than workers, tasks
+// are first split into arena-range shards of their driver relation (see
+// expandShards), so even a two-rule program keeps every core busy.
+func (in *Instance) runTasks(tasks []evalTask, pos, neg State, opts runOpts) State {
 	nw := in.Workers()
+	if opts.shard && nw > len(tasks) && len(tasks) > 0 && in.Sharding() {
+		tasks = in.expandShards(tasks, pos, nw)
+	}
 	if nw > len(tasks) {
 		nw = len(tasks)
 	}
 	if nw <= 1 {
-		out := in.NewState()
+		wo := in.newWorkerOut(opts, 1)
 		for _, t := range tasks {
-			in.evalRule(t, pos, neg, out, nil)
+			in.evalRule(t, pos, neg, wo, nil)
 		}
-		return out
+		return wo.out
 	}
 
-	outs := make([]State, nw)
+	wos := make([]*workerOut, nw)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(nw)
 	for w := 0; w < nw; w++ {
 		go func(w int) {
 			defer wg.Done()
-			out := in.NewState()
+			wo := in.newWorkerOut(opts, nw)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(tasks) {
 					break
 				}
-				in.evalRule(tasks[i], pos, neg, out, nil)
+				in.evalRule(tasks[i], pos, neg, wo, nil)
 			}
-			outs[w] = out
+			wos[w] = wo
 		}(w)
 	}
 	wg.Wait()
+	return in.mergeWorkerOuts(wos, nw)
+}
 
-	out := outs[0]
-	for _, o := range outs[1:] {
-		out.UnionWith(o)
+// mergeWorkerOuts combines per-worker outputs: plain predicates by set
+// union into the first worker's state, partitioned predicates by a
+// parallel per-bucket union followed by disjoint concatenation (buckets
+// are hash partitions, so tuples of different buckets can never
+// collide).
+func (in *Instance) mergeWorkerOuts(wos []*workerOut, nbuckets int) State {
+	out := wos[0].out
+	for _, wo := range wos[1:] {
+		out.UnionWith(wo.out)
+	}
+	for pred, first := range wos[0].parts {
+		merged := make([]*relation.Relation, nbuckets)
+		var wg sync.WaitGroup
+		wg.Add(nbuckets)
+		for b := 0; b < nbuckets; b++ {
+			go func(b int) {
+				defer wg.Done()
+				m := first[b]
+				for _, wo := range wos[1:] {
+					m.UnionWith(wo.parts[pred][b])
+				}
+				merged[b] = m
+			}(b)
+		}
+		wg.Wait()
+		whole := relation.ConcatDisjoint(in.arities[pred], merged)
+		// The non-partitioned per-worker outputs for this predicate are
+		// empty by construction, but union them anyway for safety.
+		whole.UnionWith(out[pred])
+		out[pred] = whole
 	}
 	return out
 }
@@ -145,7 +267,7 @@ func (in *Instance) runTasksCount(tasks []evalTask, pos, neg State) map[string]*
 	if nw <= 1 {
 		cnt := make(map[string]*relation.Multiset)
 		for _, t := range tasks {
-			in.evalRule(t, pos, neg, nil, cnt)
+			in.evalRule(t, pos, neg, &workerOut{}, cnt)
 		}
 		return cnt
 	}
@@ -163,7 +285,7 @@ func (in *Instance) runTasksCount(tasks []evalTask, pos, neg State) map[string]*
 				if i >= len(tasks) {
 					break
 				}
-				in.evalRule(tasks[i], pos, neg, nil, cnt)
+				in.evalRule(tasks[i], pos, neg, &workerOut{}, cnt)
 			}
 			cnts[w] = cnt
 		}(w)
@@ -231,8 +353,8 @@ func (in *Instance) IsFixpoint(s State) bool {
 // the relation of specific literal indices (the semi-naive and delta
 // variants).  With cnt non-nil the rule runs in counting mode: every
 // derivation bumps the head tuple's count in cnt[headPred] instead of
-// inserting into out.
-func (in *Instance) evalRule(task evalTask, posState, negState State, out State, cnt map[string]*relation.Multiset) {
+// inserting into the worker output.
+func (in *Instance) evalRule(task evalTask, posState, negState State, wo *workerOut, cnt map[string]*relation.Multiset) {
 	rp := task.rp
 	maxNeg := 0
 	for _, np := range rp.negatives {
@@ -242,11 +364,17 @@ func (in *Instance) evalRule(task evalTask, posState, negState State, out State,
 	}
 	ctx := &evalCtx{
 		usize:   in.db.Universe().Size(),
-		out:     out[rp.headPred],
+		out:     wo.out[rp.headPred],
 		headBuf: make(relation.Tuple, len(rp.headSlots)),
 		negBuf:  make(relation.Tuple, maxNeg),
 		pos:     make([]*relation.Relation, len(rp.positives)),
 		neg:     make([]*relation.Relation, len(rp.negatives)),
+	}
+	if wo.parts != nil {
+		ctx.parts = wo.parts[rp.headPred]
+	}
+	if wo.against != nil {
+		ctx.cur = wo.against[rp.headPred]
 	}
 	if cnt != nil {
 		ms := cnt[rp.headPred]
@@ -279,7 +407,11 @@ func (in *Instance) evalRule(task evalTask, posState, negState State, out State,
 	// Plan against the resolved relations: the planner sees the actual
 	// sizes of this task's sources (deltas included), so join orders are
 	// re-costed every round.
-	ep := buildExec(rp, ctx.pos, in.CostPlanner())
+	shardLit := -1
+	if task.shardHi > 0 {
+		shardLit = task.shardLit
+	}
+	ep := buildExec(rp, ctx.pos, in.CostPlanner(), shardLit, task.shardLo, task.shardHi)
 	binding := make([]int, rp.nvars)
 	for i := range binding {
 		binding[i] = -1
@@ -300,16 +432,22 @@ func slotValue(s slot, binding []int) int {
 // emitting head tuples into ctx.out.
 func (in *Instance) run(rp *rulePlan, ctx *evalCtx, ep *execPlan, si int, binding []int) {
 	if si == len(ep.steps) {
-		// Fill the scratch head buffer; Relation.Add (and Multiset.Bump
-		// for a new tuple) copies it only when actually stored.
+		// Fill the scratch head buffer; AddNotIn (and Multiset.Bump for a
+		// new tuple) copies it only when actually stored.  ctx.cur is the
+		// frontier filter: emissions already in the accumulated state are
+		// dropped here, by one read-only membership probe, instead of
+		// surviving into a derived state only to be removed by a Diff.
 		t := ctx.headBuf
 		for i, s := range rp.headSlots {
 			t[i] = slotValue(s, binding)
 		}
-		if ctx.cnt != nil {
+		switch {
+		case ctx.cnt != nil:
 			ctx.cnt.Bump(t, 1)
-		} else {
-			ctx.out.Add(t)
+		case ctx.parts != nil:
+			ctx.parts[relation.TupleHash(t)%uint64(len(ctx.parts))].AddNotIn(t, ctx.cur)
+		default:
+			ctx.out.AddNotIn(t, ctx.cur)
 		}
 		return
 	}
@@ -383,12 +521,19 @@ func (in *Instance) runJoin(rp *rulePlan, ctx *evalCtx, ep *execPlan, si int, bi
 		} else {
 			offs = rel.LookupCols(je.probeCols, je.probeVals)
 		}
+		if je.shardHi > 0 {
+			offs = relation.OffsetsInRange(offs, je.shardLo, je.shardHi)
+		}
 		for _, off := range offs {
 			in.matchTuple(rp, ctx, ep, si, binding, je, rel.At(off))
 		}
 		return
 	}
-	for off, n := int32(0), int32(rel.Len()); off < n; off++ {
+	lo, hi := int32(0), int32(rel.Len())
+	if je.shardHi > 0 {
+		lo, hi = je.shardLo, je.shardHi
+	}
+	for off := lo; off < hi; off++ {
 		in.matchTuple(rp, ctx, ep, si, binding, je, rel.At(off))
 	}
 }

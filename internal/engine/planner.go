@@ -89,6 +89,10 @@ type joinExec struct {
 	bindVars  []int    // variables newly bound by this literal
 	relLen    int      // relation size at plan time (for explain)
 	est       float64  // estimated matching tuples (for cost/explain)
+	// shardLo/shardHi restrict the literal's enumeration to the arena
+	// offsets [shardLo, shardHi) — one shard of an intra-rule split.
+	// shardHi == 0 means the whole relation.
+	shardLo, shardHi int32
 }
 
 // estimateJoin scores a candidate join under the current bound set:
@@ -143,12 +147,51 @@ func compileJoin(rp *rulePlan, lit int, rel *relation.Relation, bound []bool, wi
 	return je
 }
 
+// firstJoinPick returns the positive literal the planner would join
+// first under an empty binding — the enumeration that drives the whole
+// rule, and therefore the literal an intra-rule shard split partitions
+// when no semi-naive delta identifies the driver.  It replicates the
+// first iteration of buildExec's join phase exactly.
+func firstJoinPick(rp *rulePlan, rels []*relation.Relation, costBased bool) int {
+	best := -1
+	if costBased {
+		bound := make([]bool, rp.nvars)
+		bestCost := math.Inf(1)
+		for i, lp := range rp.positives {
+			if c := estimateJoin(rels[i], lp, bound); c < bestCost {
+				best, bestCost = i, c
+			}
+		}
+		return best
+	}
+	bestScore := -1
+	for i, lp := range rp.positives {
+		score := 0
+		for _, s := range lp.slots {
+			if s.isConst {
+				score++
+			}
+		}
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
 // buildExec orders the rule body into an executable plan against the
 // concrete relations rels (parallel to rp.positives) and compiles each
 // join.  costBased selects cardinality-estimate ordering with wide
 // composite probes; false reproduces the legacy syntactic
 // most-bound-first order with single-column probes.
-func buildExec(rp *rulePlan, rels []*relation.Relation, costBased bool) *execPlan {
+//
+// When the evaluation task is one shard of an intra-rule split, shard
+// names the literal whose enumeration is restricted to the arena range
+// [shardLo, shardHi): that literal is forced to the front of the join
+// order (the split partitions the rule's driving enumeration, so every
+// derivation belongs to exactly one shard) and its compiled join carries
+// the range.  shard < 0 compiles the unrestricted plan.
+func buildExec(rp *rulePlan, rels []*relation.Relation, costBased bool, shard int, shardLo, shardHi int32) *execPlan {
 	bound := make([]bool, rp.nvars)
 	usedPos := make([]bool, len(rp.positives))
 	usedCmp := make([]bool, len(rp.cmps))
@@ -193,7 +236,9 @@ func buildExec(rp *rulePlan, rels []*relation.Relation, costBased bool) *execPla
 	// most-bound (legacy) positive literal; ties go to program order.
 	for remaining := len(rp.positives); remaining > 0; remaining-- {
 		best := -1
-		if costBased {
+		if shard >= 0 && !usedPos[shard] {
+			best = shard // forced first: the shard range partitions this enumeration
+		} else if costBased {
 			bestCost := math.Inf(1)
 			for i, lp := range rp.positives {
 				if usedPos[i] {
@@ -222,6 +267,9 @@ func buildExec(rp *rulePlan, rels []*relation.Relation, costBased bool) *execPla
 		}
 		usedPos[best] = true
 		je := compileJoin(rp, best, rels[best], bound, costBased)
+		if best == shard {
+			je.shardLo, je.shardHi = shardLo, shardHi
+		}
 		ep.steps = append(ep.steps, execStep{kind: stepJoin, idx: best, join: je})
 		bindSlots(rp.positives[best].slots)
 		addChecks()
@@ -274,25 +322,11 @@ func SetDefaultCostPlanner(on bool) { defaultPlannerOff.Store(!on) }
 // cost-based join ordering with composite-index access paths, false the
 // legacy syntactic order with single-column probes.  Both strategies
 // derive exactly the same relations; only evaluation cost differs.
-func (in *Instance) SetCostPlanner(on bool) {
-	if on {
-		in.planner = plannerOn
-	} else {
-		in.planner = plannerOff
-	}
-}
+func (in *Instance) SetCostPlanner(on bool) { in.planner = triSet(on) }
 
 // CostPlanner reports the effective planning strategy: the value set
 // with SetCostPlanner, else the process default, else on.
-func (in *Instance) CostPlanner() bool {
-	switch in.planner {
-	case plannerOn:
-		return true
-	case plannerOff:
-		return false
-	}
-	return !defaultPlannerOff.Load()
-}
+func (in *Instance) CostPlanner() bool { return in.planner.resolve(defaultPlannerOff.Load()) }
 
 // relFor resolves the relation a literal reads during Explain: the
 // database for EDB predicates, s for IDB ones (empty when s lacks the
@@ -349,7 +383,7 @@ func (in *Instance) Explain(w io.Writer, s State) {
 		for i, lp := range rp.positives {
 			rels[i] = in.relFor(lp.pred, lp.idb, s)
 		}
-		ep := buildExec(rp, rels, in.CostPlanner())
+		ep := buildExec(rp, rels, in.CostPlanner(), -1, 0, 0)
 		for _, st := range ep.steps {
 			switch st.kind {
 			case stepJoin:

@@ -18,6 +18,11 @@
 //	ApplyDelta(old, Δ, cur)  the tuples of Θ(cur) derivable using ≥1 Δ-tuple
 //	IsFixpoint(S)            Θ(S̄) = S̄
 //
+// plus the frontier variants (frontier.go): ApplySplitFrontier and
+// ApplyDeltaSplitFrontier return the same derivations minus an
+// accumulated state, filtering at emit time — the building block of
+// every fixpoint loop in internal/semantics and internal/incr.
+//
 // ApplyDelta is the semi-naive building block: under the inflationary
 // iteration S ∪ Θ(S) (and under least-fixpoint iteration of positive
 // programs) a derivation whose positive IDB tuples are all old was
@@ -109,6 +114,20 @@ func (s State) UnionWith(o State) int {
 	added := 0
 	for k, r := range o {
 		added += s[k].UnionWith(r)
+	}
+	return added
+}
+
+// UnionDisjoint adds every tuple of o into s without membership probes,
+// returning the number of tuples added.  The caller must guarantee o is
+// disjoint from s — exactly what the Frontier entry points return
+// relative to the state they filtered against — so the union-back is a
+// straight insert instead of a probe-then-insert.
+func (s State) UnionDisjoint(o State) int {
+	added := 0
+	for k, r := range o {
+		s[k].AppendDisjoint(r)
+		added += r.Len()
 	}
 	return added
 }

@@ -8,8 +8,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 14 {
-		t.Fatalf("registered %d experiments, want 14", len(all))
+	if len(all) != 15 {
+		t.Fatalf("registered %d experiments, want 15", len(all))
 	}
 	for i, e := range all {
 		want := i + 1

@@ -93,18 +93,17 @@ func (m *Maintainer) updateReplay(ch map[string]*change, stats *UpdateStats) {
 	}
 
 	// Replay from S_first: one full Θ application, then semi-naive
-	// rounds exactly as in the from-scratch loop.
+	// rounds exactly as in the from-scratch loop — on the frontier
+	// contract, so each round returns the genuinely-new tuples directly.
 	preTotal := m.state.Total()
 	cur := base.Mutable()
-	derived := m.in.ApplySplit(cur, cur)
-	nd := derived.Diff(cur)
+	nd := m.in.ApplySplitFrontier(cur, cur, cur)
 	stats.ReplayedStages = 1
 	for !nd.Empty() {
 		prev := cur.Snapshot()
-		cur.UnionWith(nd)
+		cur.UnionDisjoint(nd)
 		m.log = append(m.log, cur.Snapshot())
-		derived = m.in.ApplyDeltaSplit(prev, nd, cur, cur)
-		nd = derived.Diff(cur)
+		nd = m.in.ApplyDeltaSplitFrontier(prev, nd, cur, cur)
 		stats.ReplayedStages++
 	}
 	m.state = cur

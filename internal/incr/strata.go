@@ -259,7 +259,9 @@ func (s *stratum) applyDRed(m *Maintainer, ch map[string]*change) (pre, adds, de
 	}
 
 	// 1. Overdelete: everything a dying derivation supported, cascaded
-	// through the stratum in the old world.
+	// through the stratum in the old world.  Cascade rounds run on the
+	// frontier contract: emissions already overdeleted are dropped at
+	// emit time instead of surviving into a derived state for a Diff.
 	dover := in.NewState()
 	if anyDel {
 		frontier := in.ApplyDeltas(oldPos, oldPos, base)
@@ -279,7 +281,7 @@ func (s *stratum) applyDRed(m *Maintainer, ch map[string]*change) (pre, adds, de
 			if !drivers {
 				break
 			}
-			frontier = in.ApplyDeltas(oldPos, oldPos, casc).Diff(dover)
+			frontier = in.ApplyDeltasFrontier(oldPos, oldPos, casc, dover)
 		}
 		for pred := range s.preds {
 			rel := m.state[pred]
@@ -318,9 +320,10 @@ func (s *stratum) applyDRed(m *Maintainer, ch map[string]*change) (pre, adds, de
 	}
 
 	// 3. Insert: derivations the update enables, propagated semi-naively
-	// through the stratum in the new world.
+	// through the stratum in the new world, filtered against the already
+	// materialized own-predicate state at emit time.
 	if anyIns {
-		frontier := in.ApplyDeltas(m.state, m.state, seed).Diff(ownState(m.state, s.preds))
+		frontier := in.ApplyDeltasFrontier(m.state, m.state, seed, ownState(m.state, s.preds))
 		for !frontier.Empty() {
 			for pred := range s.preds {
 				rel := m.state[pred]
@@ -332,7 +335,7 @@ func (s *stratum) applyDRed(m *Maintainer, ch map[string]*change) (pre, adds, de
 					next[pred] = engine.Delta{PosDriver: frontier[pred]}
 				}
 			}
-			frontier = in.ApplyDeltas(m.state, m.state, next).Diff(ownState(m.state, s.preds))
+			frontier = in.ApplyDeltasFrontier(m.state, m.state, next, ownState(m.state, s.preds))
 		}
 	}
 

@@ -1,6 +1,9 @@
 package relation
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Composite indexes.
 //
@@ -26,15 +29,21 @@ import "fmt"
 // encodes the same way, so build and probe can never disagree on which
 // of the two maps holds an entry.
 
-// compIndex is one composite index: projection key → arena offsets.
+// compIndex is one composite index: projection key → arena offsets,
+// covering the first n arena entries.  Like the per-column indexes it
+// stays exact under appends (offsets are monotone) and is extended by
+// the arena suffix on the next probe rather than rebuilt.
 type compIndex struct {
+	n      int
 	packed map[uint64][]int32
 	spill  map[string][]int32
 }
 
 // compIndexSet is a generation-stamped immutable map of composite
 // indexes by column bitmask: valid exactly while the relation's
-// mutation generation still equals gen.
+// mutation generation still equals gen.  Individual indexes may cover
+// different arena prefixes (they are built lazily at different times);
+// each carries its own coverage length.
 type compIndexSet struct {
 	gen uint64
 	m   map[uint64]*compIndex
@@ -64,24 +73,31 @@ func (r *Relation) colsMask(cols []int) uint64 {
 	return m
 }
 
-// compFor returns the composite index on cols, building and publishing
-// it on first use.  Safe for concurrent use by readers.
+// compFor returns the composite index on cols, building it on first
+// use, extending it when the relation has only grown since it was
+// published, and rebuilding after a structural mutation.  Safe for
+// concurrent use by readers: published sets and indexes are immutable,
+// extension copies the key maps under mu and republishes atomically.
 func (r *Relation) compFor(cols []int) *compIndex {
 	mask := r.colsMask(cols)
 	if p := r.cidx.Load(); p != nil && p.gen == r.gen {
-		if ci, ok := p.m[mask]; ok {
+		if ci, ok := p.m[mask]; ok && ci.n == len(r.arena) {
 			return ci
 		}
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	cur := r.cidx.Load()
+	var prev *compIndex
 	if cur != nil && cur.gen == r.gen {
 		if ci, ok := cur.m[mask]; ok {
-			return ci
+			if ci.n == len(r.arena) {
+				return ci
+			}
+			prev = ci // append-only growth: extend by the suffix
 		}
 	}
-	ci := r.buildComp(cols)
+	ci := r.buildComp(cols, prev)
 	next := make(map[uint64]*compIndex, 1)
 	if cur != nil && cur.gen == r.gen {
 		for k, v := range cur.m {
@@ -93,13 +109,31 @@ func (r *Relation) compFor(cols []int) *compIndex {
 	return ci
 }
 
-// buildComp scans the arena once, grouping offsets by projection key.
-func (r *Relation) buildComp(cols []int) *compIndex {
-	ci := &compIndex{packed: make(map[uint64][]int32)}
+// buildComp groups arena offsets by projection key.  With prev nil it
+// scans the whole arena; otherwise it copies prev's key maps and scans
+// only the suffix prev does not cover.
+func (r *Relation) buildComp(cols []int, prev *compIndex) *compIndex {
+	ci := &compIndex{n: len(r.arena)}
+	lo := 0
+	if prev != nil {
+		lo = prev.n
+		ci.packed = make(map[uint64][]int32, len(prev.packed)+(ci.n-lo))
+		for k, offs := range prev.packed {
+			ci.packed[k] = offs
+		}
+		if prev.spill != nil {
+			ci.spill = make(map[string][]int32, len(prev.spill))
+			for k, offs := range prev.spill {
+				ci.spill[k] = offs
+			}
+		}
+	} else {
+		ci.packed = make(map[uint64][]int32)
+	}
 	proj := make(Tuple, len(cols))
-	for off, t := range r.arena {
+	for off := lo; off < len(r.arena); off++ {
 		for i, c := range cols {
-			proj[i] = t[c]
+			proj[i] = r.arena[off][c]
 		}
 		if k, ok := packKey(proj); ok {
 			ci.packed[k] = append(ci.packed[k], int32(off))
@@ -131,6 +165,20 @@ func (r *Relation) LookupCols(cols []int, vals []int) []int32 {
 		return nil
 	}
 	return ci.spill[spillKey(Tuple(vals))]
+}
+
+// OffsetsInRange narrows an index offset list (as returned by Lookup or
+// LookupCols, always ascending: indexes are built by one arena scan) to
+// the offsets in [lo, hi) — the shard-aware form of an index probe, used
+// when a literal's enumeration is split into arena-range shards.  The
+// result aliases offs; callers must not mutate it.
+func OffsetsInRange(offs []int32, lo, hi int32) []int32 {
+	if hi <= lo {
+		return nil
+	}
+	i := sort.Search(len(offs), func(i int) bool { return offs[i] >= lo })
+	j := sort.Search(len(offs), func(j int) bool { return offs[j] >= hi })
+	return offs[i:j]
 }
 
 // Distinct returns the number of distinct values appearing in column

@@ -77,6 +77,29 @@ func packKey(t Tuple) (uint64, bool) {
 	return key, true
 }
 
+// TupleHash returns a well-mixed 64-bit hash of t, stable across
+// relations of the same arity.  The engine partitions per-worker
+// derivation outputs by TupleHash(head) so partitions from different
+// workers can be merged bucket-by-bucket and concatenated disjointly.
+// Packed tuples hash their packed key through a splitmix64 finalizer
+// (the raw key is a fixed-width concatenation, so its low bits are just
+// the last element); spilled tuples hash element-wise FNV-1a.
+func TupleHash(t Tuple) uint64 {
+	if k, ok := packKey(t); ok {
+		k ^= k >> 30
+		k *= 0xbf58476d1ce4e5b9
+		k ^= k >> 27
+		k *= 0x94d049bb133111eb
+		return k ^ k>>31
+	}
+	h := uint64(1469598103934665603)
+	for _, v := range t {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	return h
+}
+
 // spillKey returns the byte-string fallback key for tuples that do not
 // pack into a uint64.
 func spillKey(t Tuple) string {

@@ -65,10 +65,16 @@ const (
 // holding that value in the column.
 type colIndex map[int][]int32
 
-// colIndexes is a generation-stamped set of per-column indexes: valid
-// exactly while the relation's mutation generation still equals gen.
+// colIndexes is a generation-stamped set of per-column indexes covering
+// the first n arena entries: exact while the relation's mutation
+// generation still equals gen, complete while the arena length still
+// equals n.  A generation mismatch (a Remove rewrote offsets) forces a
+// full rebuild; a grown arena under the same generation is repaired by
+// extending with the new suffix, which costs O(distinct values + new
+// tuples) instead of a rescan of the whole arena.
 type colIndexes struct {
 	gen  uint64
+	n    int
 	cols []colIndex
 }
 
@@ -220,7 +226,6 @@ func (r *Relation) Add(t Tuple) bool {
 	r.beforeMutate(true)
 	r.insertKey(t)
 	r.arena = append(r.arena, t.Clone())
-	r.invalidate()
 	return true
 }
 
@@ -245,6 +250,94 @@ func (r *Relation) Has(t Tuple) bool {
 		return false
 	}
 	return r.offsetOf(t) >= 0
+}
+
+// AddNotIn inserts t unless it is already present in filter — the fused
+// emit of the engine's frontier evaluation: one read-only membership
+// probe against the accumulated state, then a straight insert into the
+// delta.  A nil filter degenerates to Add.  filter must have the same
+// arity as r (the key encoding is deterministic per tuple, so one packed
+// key serves both probes).  It reports whether t was inserted.
+func (r *Relation) AddNotIn(t Tuple, filter *Relation) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("relation: adding tuple of arity %d to relation of arity %d", len(t), r.arity))
+	}
+	if k, ok := packKey(t); ok {
+		if filter != nil {
+			if off, ok := filter.packed[k]; ok && off < int32(len(filter.arena)) {
+				return false
+			}
+		}
+		if off, ok := r.packed[k]; ok && off < int32(len(r.arena)) {
+			return false
+		}
+		r.beforeMutate(true)
+		r.packed[k] = int32(len(r.arena))
+		r.arena = append(r.arena, t.Clone())
+		return true
+	}
+	if filter != nil && filter.Has(t) {
+		return false
+	}
+	if r.Has(t) {
+		return false
+	}
+	r.beforeMutate(true)
+	r.insertKey(t)
+	r.arena = append(r.arena, t.Clone())
+	return true
+}
+
+// ReserveHint pre-sizes the relation's storage for about n tuples, so a
+// caller that knows the expected cardinality (e.g. last round's delta)
+// avoids incremental map growth on the hot insert path.  It only acts
+// on a still-empty mutable relation; otherwise it is a no-op.
+func (r *Relation) ReserveHint(n int) {
+	if r.frozen || len(r.arena) > 0 || n <= 0 {
+		return
+	}
+	r.packed = make(map[uint64]int32, n)
+	r.arena = make([]Tuple, 0, n)
+}
+
+// AppendDisjoint appends every tuple of o without membership probes.
+// The caller must guarantee that o is disjoint from r's current
+// contents (e.g. the two are hash partitions over disjoint key ranges);
+// violating that corrupts the relation.  Tuples are shared, not cloned —
+// they are immutable by contract.
+func (r *Relation) AppendDisjoint(o *Relation) {
+	if r.arity != o.arity {
+		panic(fmt.Sprintf("relation: appending arity %d into arity %d", o.arity, r.arity))
+	}
+	if o.Empty() {
+		return
+	}
+	r.beforeMutate(true)
+	for _, t := range o.arena {
+		r.insertKey(t)
+		r.arena = append(r.arena, t)
+	}
+}
+
+// ConcatDisjoint assembles one relation from pairwise-disjoint parts
+// (hash partitions of a derivation pass): arenas are appended and keys
+// inserted without any membership probe, so the merge is a disjoint
+// concatenation rather than a re-hashed union.
+func ConcatDisjoint(arity int, parts []*Relation) *Relation {
+	total := 0
+	for _, p := range parts {
+		if p != nil {
+			total += p.Len()
+		}
+	}
+	r := New(arity)
+	r.ReserveHint(total)
+	for _, p := range parts {
+		if p != nil {
+			r.AppendDisjoint(p)
+		}
+	}
+	return r
 }
 
 // Remove deletes t, reporting whether it was present.  The arena stays
@@ -277,9 +370,15 @@ func (r *Relation) Remove(t Tuple) bool {
 	return true
 }
 
-// invalidate bumps the mutation generation after a mutation.  Cached
-// indexes are stamped with the generation they were built at, so a
-// bumped generation makes them stale; the next probe rebuilds.
+// invalidate bumps the mutation generation after a structural mutation
+// (a Remove, which rewrites arena offsets).  Cached indexes are stamped
+// with the generation they were built at, so a bumped generation makes
+// them stale; the next probe rebuilds from scratch.  Appends do NOT
+// bump the generation: offsets are assigned monotonically, so an index
+// built at arena length n is still exact for the first n tuples and the
+// next probe merely extends it with the suffix — the steady state of
+// the engine's frontier loop, where the accumulated relations only ever
+// grow.
 func (r *Relation) invalidate() { r.gen++ }
 
 func (r *Relation) deleteKey(t Tuple) {
@@ -383,15 +482,12 @@ func (r *Relation) UnionWith(o *Relation) int {
 			added++
 		}
 	}
-	if added > 0 {
-		r.invalidate()
-	}
 	return added
 }
 
 // addOwned inserts t without copying it.  The caller must guarantee t
-// is never mutated afterwards.  It does not invalidate indexes; bulk
-// callers do that once.
+// is never mutated afterwards.  Like every append, it leaves cached
+// indexes valid for their covered prefix; probes extend them.
 func (r *Relation) addOwned(t Tuple) bool {
 	if r.Has(t) {
 		return false
@@ -442,29 +538,48 @@ func (r *Relation) Diff(o *Relation) *Relation {
 }
 
 // cols returns the per-column indexes, building all of them on first
-// use and rebuilding when the cached set's generation stamp no longer
-// matches the relation's.  The build is synchronized so concurrent
-// readers are safe; the arity is small in practice, so building every
-// column at once costs about as much as building one.
+// use, extending them when the relation has only grown since the cached
+// set was published, and rebuilding from scratch after a structural
+// mutation.  The build is synchronized so concurrent readers are safe;
+// published sets are immutable, extension copies the maps and appends
+// fresh slice headers, so established readers never observe writes.
+// The arity is small in practice, so building every column at once
+// costs about as much as building one.
 func (r *Relation) cols() []colIndex {
-	if p := r.idx.Load(); p != nil && p.gen == r.gen {
+	if p := r.idx.Load(); p != nil && p.gen == r.gen && p.n == len(r.arena) {
 		return p.cols
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if p := r.idx.Load(); p != nil && p.gen == r.gen {
+	p := r.idx.Load()
+	if p != nil && p.gen == r.gen && p.n == len(r.arena) {
 		return p.cols
 	}
-	cols := make([]colIndex, r.arity)
-	for c := range cols {
-		cols[c] = make(colIndex)
+	var cols []colIndex
+	lo := 0
+	if p != nil && p.gen == r.gen && p.n < len(r.arena) {
+		// Append-only growth since publication: extend by the suffix.
+		cols = make([]colIndex, r.arity)
+		for c := range cols {
+			m := make(colIndex, len(p.cols[c])+(len(r.arena)-p.n))
+			for v, offs := range p.cols[c] {
+				m[v] = offs
+			}
+			cols[c] = m
+		}
+		lo = p.n
+	} else {
+		cols = make([]colIndex, r.arity)
+		for c := range cols {
+			cols[c] = make(colIndex)
+		}
 	}
-	for off, t := range r.arena {
-		for c, v := range t {
+	for off := lo; off < len(r.arena); off++ {
+		for c, v := range r.arena[off] {
 			cols[c][v] = append(cols[c][v], int32(off))
 		}
 	}
-	r.idx.Store(&colIndexes{gen: r.gen, cols: cols})
+	r.idx.Store(&colIndexes{gen: r.gen, n: len(r.arena), cols: cols})
 	return cols
 }
 

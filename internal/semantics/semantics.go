@@ -109,6 +109,13 @@ func lfpLoop(in *engine.Instance, negFixed engine.State, mode Mode) *Result {
 // never deep-copies the state: the previous stage and the round-1 delta
 // are O(1) structural-sharing snapshots of cur, which stay valid while
 // cur only grows (the inflationary invariant).
+//
+// Rounds after the first run on the engine's frontier contract: the
+// Frontier entry points return exactly the genuinely-new tuples of the
+// round — emissions already in cur are dropped at emit time — so the
+// loop unions the returned delta into cur and moves on, with no derived
+// state and no Diff.  With the instance's frontier knob off the same
+// entry points compute derive+Diff internally, the ablation baseline.
 func lfpLoopLog(in *engine.Instance, negFixed engine.State, mode Mode, log func(engine.State)) *Result {
 	stats := Stats{}
 	prev := in.NewState()
@@ -131,14 +138,13 @@ func lfpLoopLog(in *engine.Instance, negFixed engine.State, mode Mode, log func(
 	}
 
 	for !delta.Empty() {
-		var derived engine.State
+		var newDelta engine.State
 		if mode == SemiNaive {
-			derived = in.ApplyDeltaSplit(prev, delta, cur, negOf(cur))
+			newDelta = in.ApplyDeltaSplitFrontier(prev, delta, cur, negOf(cur))
 		} else {
-			derived = in.ApplySplit(cur, negOf(cur))
+			newDelta = in.ApplySplitFrontier(cur, negOf(cur), cur)
 		}
 		stats.Rounds++
-		newDelta := derived.Diff(cur)
 		if newDelta.Empty() {
 			break
 		}
@@ -146,7 +152,7 @@ func lfpLoopLog(in *engine.Instance, negFixed engine.State, mode Mode, log func(
 			stats.MaxDeltaTuples = n
 		}
 		prev = cur.Snapshot()
-		cur.UnionWith(newDelta)
+		cur.UnionDisjoint(newDelta)
 		if log != nil {
 			log(cur.Snapshot())
 		}

@@ -3,6 +3,7 @@ package semantics
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -441,5 +442,73 @@ func TestWellFoundedStatsPopulated(t *testing.T) {
 	wf := WellFounded(in)
 	if wf.Outer < 1 || wf.Stats.Rounds < 2 {
 		t.Errorf("stats = %+v outer = %d", wf.Stats, wf.Outer)
+	}
+}
+
+// TestPropFrontierBitExactAllSemantics is the PR 4 acceptance property:
+// with the frontier (dedup-at-emit) pipeline and intra-rule sharding
+// enabled, every semantics — inflationary, least fixpoint, stratified,
+// and well-founded — produces exactly the state the derive+Diff oracle
+// produces, across worker counts.  Stratified evaluation constructs its
+// engine instances internally, so the toggles go through the process
+// defaults.
+func TestPropFrontierBitExactAllSemantics(t *testing.T) {
+	defer func() {
+		engine.SetDefaultFrontier(true)
+		engine.SetDefaultSharding(true)
+		engine.SetDefaultWorkers(0)
+	}()
+
+	type run struct {
+		infl, strat engine.State
+		lfp         engine.State
+		wfTrue      engine.State
+		wfPoss      engine.State
+	}
+	eval := func(src string, db *relation.Database, frontier bool, workers int) run {
+		engine.SetDefaultFrontier(frontier)
+		engine.SetDefaultSharding(frontier)
+		engine.SetDefaultWorkers(workers)
+		var r run
+		prog := parser.MustProgram(src)
+		r.infl = Inflationary(engine.MustNew(prog, db.Clone())).State
+		wf := WellFounded(engine.MustNew(prog, db.Clone()))
+		r.wfTrue, r.wfPoss = wf.True, wf.Possible
+		if res, err := Stratified(prog, db.Clone()); err == nil {
+			r.strat = res.State
+		}
+		if res, err := LeastFixpoint(engine.MustNew(prog, db.Clone())); err == nil {
+			r.lfp = res.State
+		}
+		return r
+	}
+	same := func(a, b engine.State) bool {
+		if (a == nil) != (b == nil) {
+			return false
+		}
+		return a == nil || a.Equal(b)
+	}
+
+	progs := []string{tcSrc, pi1Src, distanceSrc}
+	for seed := int64(0); seed < 4; seed++ {
+		db := randomEdgeDB(rand.New(rand.NewSource(seed)), 6, 0.3)
+		for _, src := range progs {
+			want := eval(src, db, false, 1)
+			for _, nw := range []int{1, 2, runtime.GOMAXPROCS(0) + 2} {
+				got := eval(src, db, true, nw)
+				if !same(got.infl, want.infl) {
+					t.Fatalf("seed %d workers %d: inflationary differs under frontier\n%s", seed, nw, src)
+				}
+				if !same(got.lfp, want.lfp) {
+					t.Fatalf("seed %d workers %d: least fixpoint differs under frontier\n%s", seed, nw, src)
+				}
+				if !same(got.strat, want.strat) {
+					t.Fatalf("seed %d workers %d: stratified differs under frontier\n%s", seed, nw, src)
+				}
+				if !same(got.wfTrue, want.wfTrue) || !same(got.wfPoss, want.wfPoss) {
+					t.Fatalf("seed %d workers %d: well-founded differs under frontier\n%s", seed, nw, src)
+				}
+			}
+		}
 	}
 }
