@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench bench-smoke bench-json profile staticcheck ci
+.PHONY: all build test race vet fmt fmt-check bench bench-smoke bench-json profile staticcheck fuzz-smoke cover ci
 
 all: build
 
@@ -38,14 +38,14 @@ bench-smoke:
 
 # Machine-readable results for the perf trajectory: the headline series
 # (E8 fixpoint, E10 distance, E13 planner, E14 incremental updates, E15
-# frontier scaling) rendered to BENCH_PR4.json — committed to the repo
-# (and uploaded by CI) so the trajectory survives across PRs.  Fixed
-# -benchtime/-count: medians over 5 runs of ≥100ms, not 1-iteration
-# smoke samples.
+# frontier scaling, E16 magic point queries) rendered to
+# BENCH_PR5.json — committed to the repo (and uploaded by CI) so the
+# trajectory survives across PRs.  Fixed -benchtime/-count: medians
+# over 5 runs of ≥100ms, not 1-iteration smoke samples.
 bench-json:
-	$(GO) test -run '^$$' -bench 'E8Inflationary|E10Distance|E13JoinPlanner|E14IncrementalUpdate|E15FrontierScaling' \
+	$(GO) test -run '^$$' -bench 'E8Inflationary|E10Distance|E13JoinPlanner|E14IncrementalUpdate|E15FrontierScaling|E16MagicQuery' \
 		-benchtime 100ms -count 5 . | tee bench-json.txt
-	$(GO) run ./scripts/benchjson bench-json.txt > BENCH_PR4.json
+	$(GO) run ./scripts/benchjson bench-json.txt > BENCH_PR5.json
 
 # CPU + allocation profiles of the hot evaluation path (the E8/E10
 # series), written to profiles/, with a top-20 summary printed for each
@@ -64,20 +64,38 @@ STATICCHECK_VERSION ?= 2025.1.1
 staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
-# Local mirror of the CI benchstat gate: compare the E8/E10/E15 series
-# on BASE (default HEAD~1) against the working tree, failing on >15%
-# median regressions.  Series missing on BASE (e.g. a newly added
-# benchmark) are skipped by benchdiff.
+# Local mirror of the CI benchstat gate: compare the E8/E10/E15/E16
+# series on BASE (default HEAD~1) against the working tree, failing on
+# >15% median regressions.  E16 puts point-query latency under the same
+# gate as whole-fixpoint evaluation.  Series missing on BASE (e.g. a
+# newly added benchmark) are skipped by benchdiff.
 BASE ?= HEAD~1
 bench-compare:
 	rm -rf /tmp/bench-base && git worktree prune
 	git worktree add /tmp/bench-base $(BASE)
-	cd /tmp/bench-base && $(GO) test -run '^$$' -bench 'E8Inflationary|E10Distance|E15FrontierScaling' -benchtime 100ms -count 7 . > /tmp/bench-base.txt
-	$(GO) test -run '^$$' -bench 'E8Inflationary|E10Distance|E15FrontierScaling' -benchtime 100ms -count 7 . > /tmp/bench-head.txt
+	cd /tmp/bench-base && $(GO) test -run '^$$' -bench 'E8Inflationary|E10Distance|E15FrontierScaling|E16MagicQuery' -benchtime 100ms -count 7 . > /tmp/bench-base.txt
+	$(GO) test -run '^$$' -bench 'E8Inflationary|E10Distance|E15FrontierScaling|E16MagicQuery' -benchtime 100ms -count 7 . > /tmp/bench-head.txt
 	$(GO) run ./scripts/benchdiff -threshold 15 /tmp/bench-base.txt /tmp/bench-head.txt
 	git worktree remove --force /tmp/bench-base
+
+# 30 seconds of native fuzzing per target: the parser round-trip
+# invariants and the magic rewrite's stratifiable-or-fallback contract.
+# Seed corpora live under testdata/fuzz and also run as plain tests.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParser$$' -fuzztime $(FUZZTIME) ./internal/parser
+	$(GO) test -run '^$$' -fuzz '^FuzzFacts$$' -fuzztime $(FUZZTIME) ./internal/parser
+	$(GO) test -run '^$$' -fuzz '^FuzzMagicRewrite$$' -fuzztime $(FUZZTIME) ./internal/magic
+
+# Statement coverage with the recorded floor (the total measured when
+# the gate was introduced, minus noise margin): PRs may not shed tests.
+COVER_MIN ?= 78.5
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+	$(GO) run ./scripts/covergate -profile cover.out -min $(COVER_MIN)
 
 # Hermetic mirror of CI: every job that needs no network.  staticcheck
 # (downloads the pinned tool) and the benchstat gate (bench-compare)
 # are the two network-using CI jobs; run them explicitly when online.
-ci: vet fmt-check build test race bench-smoke
+ci: vet fmt-check build test race bench-smoke cover fuzz-smoke

@@ -4,19 +4,33 @@
 // Usage:
 //
 //	datalog -program tc.dl -facts graph.dl [-semantics inflationary] [-mode seminaive] [-stats] [-explain]
+//	datalog -program tc.dl -facts graph.dl -query 's(a, ?)' [-magic=false]
 //
 // Semantics: inflationary (default, the paper's Section 4 proposal),
 // lfp (positive/semipositive programs), stratified, wellfounded.
+//
+// With -query the program is not materialized: the query atom
+// (constants bound, "?" free) is answered demand-driven by magic-set
+// rewriting — only the tuples the query can reach are derived.
+// -magic=false answers the same query from a full materialization
+// instead (the oracle the magic path is tested against); -explain
+// prints the rewrite report.  Point queries require lfp or stratified
+// semantics (inflationary is accepted when it coincides with lfp).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
+	"repro/internal/ast"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/magic"
 	"repro/internal/parser"
+	"repro/internal/relation"
 	"repro/internal/semantics"
 )
 
@@ -32,6 +46,8 @@ func main() {
 		frontier    = flag.Bool("frontier", true, "fused dedup-at-emit derivation (false = derive+Diff baseline)")
 		shard       = flag.Bool("shard", true, "intra-rule data-parallel sharding when rules < workers")
 		explain     = flag.Bool("explain", false, "print per-rule evaluation plans at the computed fixpoint")
+		query       = flag.String("query", "", "answer one query atom, e.g. 's(a, ?)' ('?' marks free positions)")
+		magicOn     = flag.Bool("magic", true, "with -query: demand-driven magic-set evaluation (false = full materialization + filter)")
 	)
 	flag.Parse()
 	engine.SetDefaultWorkers(*workers)
@@ -65,6 +81,11 @@ func main() {
 		fatal(fmt.Errorf("unknown mode %q", *modeName))
 	}
 
+	if *query != "" {
+		runQuery(prog, db, *query, sem, mode, *magicOn, *explain, *stats)
+		return
+	}
+
 	res, err := core.Eval(prog, db, sem, mode)
 	if err != nil {
 		fatal(err)
@@ -96,6 +117,59 @@ func main() {
 	if *stats {
 		fmt.Printf("%% rounds=%d tuples=%d maxDelta=%d\n",
 			res.Stats.Rounds, res.Stats.Tuples, res.Stats.MaxDeltaTuples)
+	}
+}
+
+// runQuery answers one query atom, demand-driven or via the full
+// materialization oracle.
+func runQuery(prog *ast.Program, db *relation.Database, src string, sem core.Semantics, mode semantics.Mode, magicOn, explain, stats bool) {
+	q, err := magic.ParseQuery(src)
+	if err != nil {
+		fatal(err)
+	}
+	// Validate the query against the program up front, so the full
+	// oracle path rejects exactly what the magic path rejects.
+	arities, err := prog.Validate()
+	if err != nil {
+		fatal(err)
+	}
+	ar, known := arities[q.Pred]
+	if !known {
+		fatal(fmt.Errorf("query predicate %s does not appear in the program", q.Pred))
+	}
+	if len(q.Args) != ar {
+		fatal(fmt.Errorf("query %s has %d args, predicate has arity %d", q.Pred, len(q.Args), ar))
+	}
+	if _, ok := core.QueryStrategy(sem, prog.Classify()); !ok {
+		fatal(fmt.Errorf("point queries require lfp, stratified, or coinciding inflationary semantics (program is %v; try -semantics stratified)", prog.Classify()))
+	}
+
+	start := time.Now()
+	var res *semantics.QueryResult
+	if magicOn {
+		res, err = core.Query(prog, db, q, sem, mode)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		res, err = core.QueryFull(prog, db, q, sem, mode)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	dur := time.Since(start)
+
+	if explain && res.Report != nil {
+		fmt.Print("% rewrite report:\n")
+		for _, line := range strings.Split(strings.TrimRight(res.Report.Format(), "\n"), "\n") {
+			fmt.Printf("%%   %s\n", line)
+		}
+	}
+	fmt.Printf("%% query %s (%s)\n", q, map[bool]string{true: "magic", false: "full"}[magicOn])
+	fmt.Printf("%s = %s\n", q.Pred, res.Tuples.Format(res.Universe))
+	if stats {
+		fmt.Printf("%% matched=%d derived=%d rounds=%d in %v\n",
+			res.Tuples.Len(), res.Stats.Tuples, res.Stats.Rounds, dur.Round(time.Microsecond))
 	}
 }
 

@@ -45,6 +45,7 @@ func main() {
 		planner     = flag.Bool("planner", true, "cost-based join planning (false = syntactic literal order)")
 		frontier    = flag.Bool("frontier", true, "fused dedup-at-emit derivation (false = derive+Diff baseline)")
 		shard       = flag.Bool("shard", true, "intra-rule data-parallel sharding when rules < workers")
+		magicDft    = flag.Bool("magic", false, "answer /v1/query IDB queries demand-driven (magic-set rewriting) by default")
 	)
 	flag.Parse()
 	if *programPath == "" || *factsPath == "" {
@@ -74,6 +75,13 @@ func main() {
 	srv, err := server.New(prog, db, sem)
 	if err != nil {
 		fatal(err)
+	}
+	if *magicDft {
+		if !srv.MagicSupported() {
+			fatal(fmt.Errorf("-magic requires lfp, stratified, or coinciding inflationary semantics"))
+		}
+		srv.SetMagicDefault(true)
+		log.Printf("serve: demand-driven (magic) query path on by default")
 	}
 	snap := srv.Snapshot()
 	total := 0

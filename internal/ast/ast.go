@@ -52,21 +52,53 @@ func Const(name string) Term { return Term{Kind: KindConst, Name: name} }
 func (t Term) IsVar() bool { return t.Kind == KindVar }
 
 // String renders the term name.  Constants that could be mistaken for
-// variables by the parser (upper-case initial) are quoted.
+// variables by the parser (upper-case initial), collide with a keyword,
+// or contain non-identifier characters are quoted, with backslashes and
+// quotes escaped so the parser's string lexer reads back the exact
+// name (parse → print → parse is the identity; see FuzzParser).
 func (t Term) String() string {
 	if t.Kind == KindConst && needsQuote(t.Name) {
-		return "\"" + t.Name + "\""
+		return "\"" + escapeQuoted(t.Name) + "\""
 	}
 	return t.Name
 }
 
+// escapeQuoted escapes the two characters that are special inside the
+// parser's quoted strings.
+func escapeQuoted(name string) string {
+	if !strings.ContainsAny(name, "\\\"") {
+		return name
+	}
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		if c := name[i]; c == '\\' || c == '"' {
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		} else {
+			b.WriteByte(name[i])
+		}
+	}
+	return b.String()
+}
+
 func needsQuote(name string) bool {
-	if name == "" {
+	if name == "" || name == "not" {
+		// "not" is a keyword: printed bare it would lex as negation.
 		return true
 	}
 	c := name[0]
 	if c >= 'A' && c <= 'Z' || c == '_' {
 		return true
+	}
+	if c >= '0' && c <= '9' {
+		// A digit-initial name lexes as a number only when it is all
+		// digits; anything like "1abc" must be quoted.
+		for i := 0; i < len(name); i++ {
+			if name[i] < '0' || name[i] > '9' {
+				return true
+			}
+		}
+		return false
 	}
 	for i := 0; i < len(name); i++ {
 		c := name[i]
@@ -274,6 +306,41 @@ func (p *Program) Arities() (map[string]int, error) {
 		}
 	}
 	return ar, nil
+}
+
+// Constants returns the distinct constant names of the program in the
+// order the engine interns them at compile time (rule by rule: head
+// arguments, then body literals left to right, equality terms left then
+// right).  Evaluating a rewritten or restricted program over a database
+// pre-interned with the original program's Constants reproduces the
+// exact active domain — and hence the exact value of unsafe rules —
+// of evaluating the original program.
+func (p *Program) Constants() []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(t Term) {
+		if !t.IsVar() && !seen[t.Name] {
+			seen[t.Name] = true
+			out = append(out, t.Name)
+		}
+	}
+	for _, r := range p.Rules {
+		for _, t := range r.Head.Args {
+			add(t)
+		}
+		for _, l := range r.Body {
+			switch l.Kind {
+			case LitPos, LitNeg:
+				for _, t := range l.Atom.Args {
+					add(t)
+				}
+			case LitEq, LitNeq:
+				add(l.Left)
+				add(l.Right)
+			}
+		}
+	}
+	return out
 }
 
 // IDB returns the set of intensional (nondatabase) predicates: those

@@ -12,6 +12,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fixpoint"
 	"repro/internal/ground"
+	"repro/internal/magic"
 	"repro/internal/relation"
 	"repro/internal/semantics"
 )
@@ -144,6 +145,64 @@ func Eval(prog *ast.Program, db *relation.Database, sem Semantics, mode semantic
 		return nil, fmt.Errorf("core: unknown semantics %d", sem)
 	}
 	return res, nil
+}
+
+// QueryStrategy reports whether demand-driven point queries are
+// available under sem for a program of class c, and if so whether they
+// evaluate under the stratified semantics.  Point queries exist for
+// LFP and stratified evaluation, and for inflationary evaluation
+// exactly where it coincides with LFP (positive and semipositive
+// programs); well-founded (and non-coinciding inflationary) programs
+// have no magic rewrite.  Every query entry point — the CLI, the
+// facade, and the server — dispatches through this one rule.
+func QueryStrategy(sem Semantics, c ast.Class) (stratified, ok bool) {
+	switch sem {
+	case Stratified:
+		return true, true
+	case LFP:
+		return false, true
+	case Inflationary:
+		return false, c == ast.ClassPositive || c == ast.ClassSemipositive
+	}
+	return false, false
+}
+
+// Query answers a single query atom demand-driven (magic-set
+// rewriting; see internal/magic and semantics.QueryLFP/
+// QueryStratified) under the chosen semantics.  db is not modified.
+func Query(prog *ast.Program, db *relation.Database, q magic.Query, sem Semantics, mode semantics.Mode) (*semantics.QueryResult, error) {
+	stratified, ok := QueryStrategy(sem, prog.Classify())
+	if !ok {
+		return nil, fmt.Errorf("core: point queries require lfp, stratified, or coinciding inflationary semantics (program is %v, semantics %v)", prog.Classify(), sem)
+	}
+	if stratified {
+		return semantics.QueryStratified(prog, db, q, mode)
+	}
+	return semantics.QueryLFP(prog, db, q, mode)
+}
+
+// QueryFull answers the same query by full materialization plus a
+// filter — the oracle the demand-driven path is differential-tested
+// and benchmarked against (experiment E16, `datalog -magic=false`).
+// Predicates absent from the computed state (extensional, or untouched
+// by any rule) fall back to the database relation or an empty one.
+func QueryFull(prog *ast.Program, db *relation.Database, q magic.Query, sem Semantics, mode semantics.Mode) (*semantics.QueryResult, error) {
+	full, err := Eval(prog, db, sem, mode)
+	if err != nil {
+		return nil, err
+	}
+	rel := full.State[q.Pred]
+	if rel == nil {
+		if rel = db.Relation(q.Pred); rel == nil {
+			rel = relation.New(len(q.Args))
+		}
+	}
+	return &semantics.QueryResult{
+		Query:    q,
+		Tuples:   semantics.FilterPattern(rel, q, full.Universe),
+		Universe: full.Universe,
+		Stats:    full.Stats,
+	}, nil
 }
 
 // AnalyzeOptions configures Analyze.

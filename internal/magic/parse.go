@@ -1,0 +1,80 @@
+package magic
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+// ParseQuery parses a query atom in the concrete syntax of the
+// program language: constants (lower-case identifiers, numbers,
+// quoted strings) mark bound positions, wildcards — written "?", "_",
+// or any variable — mark free ones.  Examples:
+//
+//	tc(c, ?)     adornment bf
+//	sg(?, leaf)  adornment fb
+//	p(X, "A")    adornment fb
+//	reached      a zero-arity query
+func ParseQuery(src string) (Query, error) {
+	// "?" is not a token of the program language; rewrite each
+	// occurrence outside quoted strings to a fresh wildcard variable.
+	// The substitute is padded with spaces so a '?' glued to an
+	// identifier — the typo "s(a?)" — stays two tokens and is rejected
+	// by the parser instead of silently merging into one constant.
+	var b strings.Builder
+	inStr, esc := false, false
+	n := 0
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case esc:
+			esc = false
+			b.WriteByte(c)
+		case inStr && c == '\\':
+			esc = true
+			b.WriteByte(c)
+		case c == '"':
+			inStr = !inStr
+			b.WriteByte(c)
+		case !inStr && c == '?':
+			fmt.Fprintf(&b, " _W%d ", n)
+			n++
+		default:
+			b.WriteByte(c)
+		}
+	}
+	// Parse as the body of a throwaway rule so the ordinary parser does
+	// the lexing; the head is a zero-arity dummy.
+	prog, err := parser.Program("q__ :- " + b.String() + ".")
+	if err != nil {
+		return Query{}, fmt.Errorf("magic: cannot parse query %q: %w", src, err)
+	}
+	if len(prog.Rules) != 1 || len(prog.Rules[0].Body) != 1 {
+		return Query{}, fmt.Errorf("magic: query %q must be a single atom", src)
+	}
+	lit := prog.Rules[0].Body[0]
+	if lit.Kind != ast.LitPos {
+		return Query{}, fmt.Errorf("magic: query %q must be a positive atom", src)
+	}
+	q := Query{Pred: lit.Atom.Pred}
+	for _, t := range lit.Atom.Args {
+		if t.IsVar() {
+			q.Args = append(q.Args, Free())
+		} else {
+			q.Args = append(q.Args, Bound(t.Name))
+		}
+	}
+	return q, nil
+}
+
+// MustParseQuery is ParseQuery but panics on error; for tests and
+// canned queries.
+func MustParseQuery(src string) Query {
+	q, err := ParseQuery(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}

@@ -1,0 +1,68 @@
+package parser
+
+import (
+	"testing"
+)
+
+// FuzzParser is the native fuzz target for the program parser: on any
+// input the parser must return cleanly (error or program, never a
+// panic), and every accepted program must survive a print → parse
+// round trip with an identical rendering — the printer and the lexer
+// agree on quoting, escaping, and keyword avoidance.
+//
+// Seed corpus: testdata/fuzz/FuzzParser.
+func FuzzParser(f *testing.F) {
+	seeds := []string{
+		"s(X,Y) :- E(X,Y).\ns(X,Y) :- E(X,Z), s(Z,Y).",
+		"T(X) :- E(Y,X), !T(Y).",
+		"p(X) :- V(X), X != Y, not q(X, \"a b\").",
+		"win(X) <- E(X,Y), not win(Y).",
+		"zero. q(1,\"x\\\"y\").",
+		"p(X) :- X = a. % comment\n// another\nq(\"\").",
+		"s3(X,Y,Xs,Ys) :- E(X,Z), s1(Z,Y), !s2(Xs,Ys).",
+		"b(\"not\",\"1abc\",\"\\\\\").",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Program(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := prog.String()
+		prog2, err := Program(printed)
+		if err != nil {
+			t.Fatalf("printed program does not re-parse: %v\ninput: %q\nprinted:\n%s", err, src, printed)
+		}
+		if printed2 := prog2.String(); printed2 != printed {
+			t.Fatalf("print → parse → print not stable:\nfirst:\n%s\nsecond:\n%s\ninput: %q", printed, printed2, src)
+		}
+	})
+}
+
+// FuzzFacts covers the fact-file path: no panics, and accepted
+// databases render back through FormatDatabase into an equal database.
+func FuzzFacts(f *testing.F) {
+	for _, s := range []string{
+		"E(a,b). E(b,c).\nV(a).",
+		"zero.\nq(1,\"x y\").",
+		"w(\"a\\\"b\", \"\\\\\", \"not\").",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		db, err := Facts(src)
+		if err != nil {
+			return
+		}
+		printed := FormatDatabase(db)
+		db2, err := Facts(printed)
+		if err != nil {
+			t.Fatalf("formatted facts do not re-parse: %v\nprinted:\n%s", err, printed)
+		}
+		if again := FormatDatabase(db2); again != printed {
+			t.Fatalf("format → parse → format not stable:\nfirst:\n%s\nsecond:\n%s", printed, again)
+		}
+	})
+}

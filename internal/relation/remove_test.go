@@ -1,0 +1,216 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Remove-path index coverage.
+//
+// Appends extend published indexes in place (growth_test.go); Remove is
+// the one mutation that rewrites arena offsets (swap-with-last) and
+// must therefore bump the generation and force a full rebuild on the
+// next probe.  These tests drive that branch directly for the
+// per-column indexes, the composite indexes, and the Distinct stats,
+// against a brute-force oracle.
+
+// bruteOffsets returns the arena offsets matching cols=vals by scan.
+func bruteOffsets(r *Relation, cols, vals []int) []int32 {
+	var out []int32
+	for off := int32(0); off < int32(r.Len()); off++ {
+		t := r.At(off)
+		ok := true
+		for i, c := range cols {
+			if t[c] != vals[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, off)
+		}
+	}
+	return out
+}
+
+func sameOffsets(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRemoveRebuildsColumnIndex(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 10; i++ {
+		r.Add(Tuple{i % 3, i})
+	}
+	// Build and pin the per-column index, then Remove a middle tuple:
+	// the swap-with-last moves an offset the stale index still points
+	// at, so a correct implementation must rebuild.
+	if got := len(r.Lookup(0, 0)); got != 4 {
+		t.Fatalf("pre-remove Lookup(0,0) = %d offsets, want 4", got)
+	}
+	if !r.Remove(Tuple{0, 0}) {
+		t.Fatal("Remove failed")
+	}
+	if got, want := r.Lookup(0, 0), bruteOffsets(r, []int{0}, []int{0}); !sameOffsets(got, want) {
+		t.Fatalf("post-remove Lookup(0,0) = %v, want %v", got, want)
+	}
+	// Distinct shares the per-column index and must also see the
+	// rebuild when a value's last tuple disappears.
+	r2 := New(1)
+	r2.Add(Tuple{1})
+	r2.Add(Tuple{2})
+	if r2.Distinct(0) != 2 {
+		t.Fatal("Distinct before Remove")
+	}
+	r2.Remove(Tuple{2})
+	if got := r2.Distinct(0); got != 1 {
+		t.Fatalf("Distinct after Remove = %d, want 1", got)
+	}
+}
+
+func TestRemoveRebuildsCompositeIndex(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 12; i++ {
+		r.Add(Tuple{i % 2, i % 3, i})
+	}
+	cols := []int{0, 1}
+	if got := len(r.LookupCols(cols, []int{0, 0})); got != 2 {
+		t.Fatalf("pre-remove LookupCols = %d offsets, want 2", got)
+	}
+	// Remove a tuple that is NOT last in the arena, so another tuple is
+	// swapped into its offset.
+	if !r.Remove(Tuple{0, 0, 0}) {
+		t.Fatal("Remove failed")
+	}
+	for _, probe := range [][]int{{0, 0}, {1, 1}, {0, 2}} {
+		got := r.LookupCols(cols, probe)
+		want := bruteOffsets(r, cols, probe)
+		if !sameOffsets(got, want) {
+			t.Fatalf("post-remove LookupCols(%v) = %v, want %v", probe, got, want)
+		}
+	}
+}
+
+// TestPropRemoveInterleavedProbes is the property form: random
+// add/remove streams with index probes interleaved, so indexes are
+// built at many different arena states and every probe after a Remove
+// exercises a rebuild; results always match the brute-force scan.
+func TestPropRemoveInterleavedProbes(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		r := New(2)
+		var live []Tuple
+		for step := 0; step < 200; step++ {
+			switch {
+			case len(live) == 0 || rng.Intn(3) != 0:
+				tpl := Tuple{rng.Intn(4), rng.Intn(4)}
+				if r.Add(tpl) {
+					live = append(live, tpl)
+				}
+			default:
+				i := rng.Intn(len(live))
+				if !r.Remove(live[i]) {
+					t.Fatalf("seed %d step %d: Remove(%v) failed", seed, step, live[i])
+				}
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			if step%7 == 0 {
+				c, v := rng.Intn(2), rng.Intn(4)
+				if got, want := r.Lookup(c, v), bruteOffsets(r, []int{c}, []int{v}); !sameOffsets(got, want) {
+					t.Fatalf("seed %d step %d: Lookup(%d,%d) = %v, want %v", seed, step, c, v, got, want)
+				}
+			}
+			if step%11 == 0 {
+				vals := []int{rng.Intn(4), rng.Intn(4)}
+				if got, want := r.LookupCols([]int{0, 1}, vals), bruteOffsets(r, []int{0, 1}, vals); !sameOffsets(got, want) {
+					t.Fatalf("seed %d step %d: LookupCols(%v) = %v, want %v", seed, step, vals, got, want)
+				}
+			}
+		}
+		if r.Len() != len(live) {
+			t.Fatalf("seed %d: %d tuples, oracle has %d", seed, r.Len(), len(live))
+		}
+	}
+}
+
+// TestRemoveDetachesFromSnapshot pins the snapshot interaction: a
+// Remove on a sealed relation copies storage, the snapshot keeps its
+// view, and both sides' indexes answer for their own contents.
+func TestRemoveDetachesFromSnapshot(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 6; i++ {
+		r.Add(Tuple{i, i + 1})
+	}
+	snap := r.Snapshot()
+	if got := len(snap.Lookup(0, 2)); got != 1 {
+		t.Fatalf("snapshot Lookup = %d, want 1", got)
+	}
+	if !r.Remove(Tuple{2, 3}) {
+		t.Fatal("Remove failed")
+	}
+	if snap.Len() != 6 || len(snap.Lookup(0, 2)) != 1 {
+		t.Fatal("snapshot changed by Remove on the source")
+	}
+	if r.Len() != 5 || len(r.Lookup(0, 2)) != 0 {
+		t.Fatalf("source after Remove: len=%d Lookup(0,2)=%v", r.Len(), r.Lookup(0, 2))
+	}
+	if got, want := r.LookupCols([]int{0, 1}, []int{4, 5}), bruteOffsets(r, []int{0, 1}, []int{4, 5}); !sameOffsets(got, want) {
+		t.Fatalf("detached LookupCols = %v, want %v", got, want)
+	}
+}
+
+// TestRemoveSpillPath drives Remove through the byte-string spill
+// encoding: ids beyond the packed width take the secondary map, and
+// the swap-with-last bookkeeping must update it symmetrically.
+func TestRemoveSpillPath(t *testing.T) {
+	big := PackedCapacity(4) // ids ≥ big spill for arity 4
+	if big == 0 {
+		t.Skip("arity 4 packs unbounded on this platform")
+	}
+	r := New(4)
+	var tuples []Tuple
+	for i := 0; i < 8; i++ {
+		tpl := Tuple{big + i, i, big + 2*i, 1}
+		tuples = append(tuples, tpl)
+		r.Add(tpl)
+	}
+	for i, tpl := range tuples {
+		if i%2 == 0 {
+			continue
+		}
+		if !r.Remove(tpl) {
+			t.Fatalf("Remove(%v) failed", tpl)
+		}
+	}
+	for i, tpl := range tuples {
+		if got, want := r.Has(tpl), i%2 == 0; got != want {
+			t.Fatalf("Has(%v) = %v, want %v", tpl, got, want)
+		}
+	}
+	if got, want := r.Lookup(3, 1), bruteOffsets(r, []int{3}, []int{1}); !sameOffsets(got, want) {
+		t.Fatalf("spill Lookup = %v, want %v", got, want)
+	}
+}
+
+func TestRemoveLastAndMissing(t *testing.T) {
+	r := New(1)
+	r.Add(Tuple{7})
+	if r.Remove(Tuple{9}) {
+		t.Fatal("Remove of a missing tuple succeeded")
+	}
+	if !r.Remove(Tuple{7}) || r.Len() != 0 {
+		t.Fatal("Remove of the last tuple failed")
+	}
+	if got := r.Lookup(0, 7); len(got) != 0 {
+		t.Fatalf("Lookup on emptied relation = %v", got)
+	}
+}

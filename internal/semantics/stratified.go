@@ -23,6 +23,15 @@ func Stratified(prog *ast.Program, db *relation.Database) (*Result, error) {
 
 // StratifiedMode is Stratified with an explicit evaluation mode.
 func StratifiedMode(prog *ast.Program, db *relation.Database, mode Mode) (*Result, error) {
+	return stratifiedIn(prog, db.Clone(), mode)
+}
+
+// stratifiedIn is the stratified evaluation loop on a caller-owned
+// working database: work is mutated in place (program constants are
+// interned into its universe, computed strata are installed as
+// relations).  QueryRewritten uses it to evaluate rewritten programs
+// without deep-copying a database it already owns.
+func stratifiedIn(prog *ast.Program, work *relation.Database, mode Mode) (*Result, error) {
 	strat, err := prog.Stratify()
 	if err != nil {
 		return nil, err
@@ -31,7 +40,6 @@ func StratifiedMode(prog *ast.Program, db *relation.Database, mode Mode) (*Resul
 		return nil, err
 	}
 
-	work := db.Clone()
 	stats := Stats{}
 	final := make(engine.State)
 

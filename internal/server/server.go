@@ -14,6 +14,16 @@
 // updates; updates run under a mutex, maintain the state through
 // internal/incr, and publish a fresh sealed snapshot.  Pattern queries
 // with multiple bound columns probe the snapshot's composite indexes.
+//
+// /v1/query additionally has a demand-driven fast path: with
+// {"magic": true} (or the server's SetMagicDefault), an IDB query is
+// answered by magic-set rewriting the program for the query's
+// adornment and evaluating the rewritten program against the
+// snapshot's extensional relations — deriving only what the query can
+// reach instead of reading the full materialization.  Rewritten
+// programs are cached keyed by (predicate, adornment); they are
+// query-constant free by construction, so the cache never needs
+// invalidation (EDB updates change seeds and data, not the rewrite).
 package server
 
 import (
@@ -27,17 +37,32 @@ import (
 	"repro/internal/ast"
 	"repro/internal/core"
 	"repro/internal/incr"
+	"repro/internal/magic"
 	"repro/internal/relation"
+	"repro/internal/semantics"
 )
 
 // Server serves one maintained program instance.
 type Server struct {
 	prog  *ast.Program
-	class string     // prog's syntactic class, computed once (Classify stratifies)
+	class string // prog's syntactic class, computed once (Classify stratifies)
+	edb   map[string]bool
+	idb   map[string]bool
+	arity map[string]int
 	mu    sync.Mutex // serializes updates (the single maintainer)
 	m     *incr.Maintainer
 	cur   atomic.Pointer[incr.Snapshot]
 	start time.Time
+
+	// Demand-driven query support: available when the maintained
+	// semantics has a magic-rewritable reading (LFP, stratified, or
+	// inflationary coinciding with LFP on positive/semipositive
+	// programs).
+	magicOK    bool
+	magicStrat bool        // evaluate rewrites under stratified semantics
+	magicDft   atomic.Bool // answer /v1/query by rewriting unless overridden
+	rwMu       sync.Mutex
+	rewrites   map[string]*magic.Rewritten // (pred, adornment) → prepared rewrite
 }
 
 // New builds a server maintaining prog on a private copy of db under
@@ -47,9 +72,60 @@ func New(prog *ast.Program, db *relation.Database, sem core.Semantics) (*Server,
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{prog: prog, class: prog.Classify().String(), m: m, start: time.Now()}
+	arities, err := prog.Validate()
+	if err != nil {
+		return nil, err
+	}
+	class := prog.Classify()
+	s := &Server{
+		prog:     prog,
+		class:    class.String(),
+		edb:      prog.EDB(),
+		idb:      prog.IDB(),
+		arity:    arities,
+		m:        m,
+		start:    time.Now(),
+		rewrites: make(map[string]*magic.Rewritten),
+	}
+	// One rule for every entry point: LFP and stratified always,
+	// inflationary exactly where it coincides with LFP.
+	s.magicStrat, s.magicOK = core.QueryStrategy(sem, class)
 	s.cur.Store(m.Snapshot())
 	return s, nil
+}
+
+// SetMagicDefault makes /v1/query answer IDB queries by demand-driven
+// magic evaluation unless the request says {"magic": false}.  Safe for
+// concurrent use.
+func (s *Server) SetMagicDefault(on bool) { s.magicDft.Store(on) }
+
+// MagicSupported reports whether the maintained semantics admits the
+// demand-driven query path.
+func (s *Server) MagicSupported() bool { return s.magicOK }
+
+// RewriteCacheSize returns the number of cached (predicate, adornment)
+// rewrites.
+func (s *Server) RewriteCacheSize() int {
+	s.rwMu.Lock()
+	defer s.rwMu.Unlock()
+	return len(s.rewrites)
+}
+
+// rewriteFor returns the cached rewrite for (pred, pattern), preparing
+// and caching it on first use.
+func (s *Server) rewriteFor(pred string, pattern []bool) (*magic.Rewritten, error) {
+	key := pred + "/" + magic.Adornment(pattern)
+	s.rwMu.Lock()
+	defer s.rwMu.Unlock()
+	if rw, ok := s.rewrites[key]; ok {
+		return rw, nil
+	}
+	rw, err := magic.Rewrite(s.prog, pred, pattern)
+	if err != nil {
+		return nil, err
+	}
+	s.rewrites[key] = rw
+	return rw, nil
 }
 
 // Snapshot returns the currently published snapshot.
@@ -134,16 +210,31 @@ func (s *Server) handleRelation(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// queryReq is a pattern match: nil args are wildcards.
+// queryReq is a pattern match: nil args are wildcards.  Magic selects
+// the demand-driven path explicitly; nil defers to the server default.
 type queryReq struct {
-	Pred string    `json:"pred"`
-	Args []*string `json:"args"`
+	Pred  string    `json:"pred"`
+	Args  []*string `json:"args"`
+	Magic *bool     `json:"magic,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var q queryReq
 	if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	wantMagic := s.magicDft.Load()
+	if q.Magic != nil {
+		wantMagic = *q.Magic
+	}
+	if wantMagic && s.idb[q.Pred] {
+		if !s.magicOK {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("magic queries are not available under %s semantics on a %s program", s.cur.Load().Sem, s.class))
+			return
+		}
+		s.handleMagicQuery(w, q)
 		return
 	}
 	snap := s.cur.Load()
@@ -193,6 +284,61 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"pred": q.Pred, "generation": snap.Gen, "count": len(tuples), "tuples": tuples,
+		"source": "materialized",
+	})
+}
+
+// handleMagicQuery answers an IDB query demand-driven: it rewrites
+// the program for the query's adornment (cached), builds a throwaway
+// working database over the snapshot's extensional relations (shared,
+// sealed — only the universe is copied), and evaluates the rewritten
+// program.  Concurrent magic queries and maintainer updates never
+// block each other: everything read is an immutable snapshot.
+func (s *Server) handleMagicQuery(w http.ResponseWriter, q queryReq) {
+	if len(q.Args) != s.arity[q.Pred] {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("%s has arity %d, got %d args", q.Pred, s.arity[q.Pred], len(q.Args)))
+		return
+	}
+	mq := magic.Query{Pred: q.Pred}
+	for _, a := range q.Args {
+		if a == nil {
+			mq.Args = append(mq.Args, magic.Free())
+		} else {
+			mq.Args = append(mq.Args, magic.Bound(*a))
+		}
+	}
+	rw, err := s.rewriteFor(mq.Pred, mq.Pattern())
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+
+	snap := s.cur.Load()
+	work := relation.NewDatabaseOn(snap.Universe.Clone())
+	for pred := range s.edb {
+		if r := snap.Rels[pred]; r != nil {
+			work.Set(pred, r)
+		}
+	}
+	res, err := semantics.QueryRewritten(rw, work, mq, s.magicStrat, semantics.SemiNaive)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	tuples := make([][]string, 0, res.Tuples.Len())
+	for _, t := range res.Tuples.Tuples() {
+		tuples = append(tuples, names(res.Universe, t))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"pred":       q.Pred,
+		"generation": snap.Gen,
+		"count":      len(tuples),
+		"tuples":     tuples,
+		"source":     "magic",
+		"adornment":  mq.Adornment(),
+		"fallback":   rw.Report.Fallback,
+		"derived":    res.Stats.Tuples,
+		"rounds":     res.Stats.Rounds,
 	})
 }
 

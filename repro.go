@@ -23,6 +23,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/core"
 	"repro/internal/incr"
+	"repro/internal/magic"
 	"repro/internal/parser"
 	"repro/internal/relation"
 	"repro/internal/semantics"
@@ -103,4 +104,22 @@ type Fact = incr.Fact
 // returns a maintainer ready for incremental updates.
 func Maintain(prog *Program, db *Database, sem Semantics) (*Maintainer, error) {
 	return incr.New(prog, db, sem)
+}
+
+// QueryResult is the outcome of a demand-driven point query.
+type QueryResult = semantics.QueryResult
+
+// Query answers a single query atom — e.g. "s(a, ?)", constants bound,
+// "?" free — demand-driven: the program is magic-set rewritten for the
+// query's binding pattern (see internal/magic) and only the tuples the
+// query can reach are derived, instead of materializing the whole
+// fixpoint.  Supported semantics: SemanticsLFP, SemanticsStratified,
+// and SemanticsInflationary when it coincides with LFP (positive or
+// semipositive programs).
+func Query(prog *Program, db *Database, query string, sem Semantics) (*QueryResult, error) {
+	q, err := magic.ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return core.Query(prog, db, q, sem, semantics.SemiNaive)
 }

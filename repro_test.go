@@ -47,6 +47,39 @@ func TestFacadeAnalyze(t *testing.T) {
 	}
 }
 
+func TestFacadeQuery(t *testing.T) {
+	prog, err := repro.ParseProgram(`
+s(X,Y) :- e(X,Y).
+s(X,Y) :- s(X,Z), e(Z,Y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := repro.ParseFacts("e(a,b). e(b,c). e(x,y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sem := range []repro.Semantics{repro.SemanticsLFP, repro.SemanticsStratified, repro.SemanticsInflationary} {
+		res, err := repro.Query(prog, db, "s(a, ?)", sem)
+		if err != nil {
+			t.Fatalf("%v: %v", sem, err)
+		}
+		if res.Tuples.Len() != 2 { // a reaches b and c, not x/y
+			t.Errorf("%v: |s(a,?)| = %d, want 2", sem, res.Tuples.Len())
+		}
+	}
+	if _, err := repro.Query(prog, db, "s(a", repro.SemanticsLFP); err == nil {
+		t.Error("malformed query accepted")
+	}
+	win, _ := repro.ParseProgram("w(X) :- e(X,Y), !w(Y).")
+	if _, err := repro.Query(win, db, "w(?)", repro.SemanticsInflationary); err == nil {
+		t.Error("non-coinciding inflationary query accepted")
+	}
+	if _, err := repro.Query(prog, db, "s(a, ?)", repro.SemanticsWellFounded); err == nil {
+		t.Error("well-founded query accepted")
+	}
+}
+
 func ExampleInflationary() {
 	prog, _ := repro.ParseProgram("t(X) :- e(Y,X), !t(Y).")
 	db, _ := repro.ParseFacts("e(a,b). e(b,c).")

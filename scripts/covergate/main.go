@@ -1,0 +1,95 @@
+// Command covergate computes total statement coverage from a Go cover
+// profile and fails when it drops below a floor.  It is the
+// enforcement half of CI's coverage job: `go tool cover -func` renders
+// the human-readable per-function table, covergate gates the build on
+// the aggregate so a PR cannot silently shed tests.
+//
+// Usage:
+//
+//	covergate -profile cover.out -min 80.0
+//
+// Blocks appearing multiple times in the profile (packages are
+// instrumented per test binary) are merged by taking the maximum
+// count, matching `go tool cover -func` totals.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// block is one profile line's identity: file plus position range.
+type block struct {
+	file string
+	pos  string
+}
+
+func main() {
+	profile := flag.String("profile", "cover.out", "cover profile (go test -coverprofile)")
+	min := flag.Float64("min", 0, "minimum total statement coverage in percent")
+	flag.Parse()
+
+	f, err := os.Open(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covergate:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	stmts := make(map[block]int)   // statements per block
+	covered := make(map[block]int) // max observed count per block
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "mode:") || line == "" {
+			continue
+		}
+		// file.go:l1.c1,l2.c2 numStmts count
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			continue
+		}
+		colon := strings.LastIndex(fields[0], ":")
+		if colon < 0 {
+			continue
+		}
+		b := block{file: fields[0][:colon], pos: fields[0][colon+1:]}
+		n, err1 := strconv.Atoi(fields[1])
+		cnt, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		stmts[b] = n
+		if cnt > covered[b] {
+			covered[b] = cnt
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "covergate:", err)
+		os.Exit(1)
+	}
+
+	total, hit := 0, 0
+	for b, n := range stmts {
+		total += n
+		if covered[b] > 0 {
+			hit += n
+		}
+	}
+	if total == 0 {
+		fmt.Fprintln(os.Stderr, "covergate: empty profile")
+		os.Exit(1)
+	}
+	pct := 100 * float64(hit) / float64(total)
+	fmt.Printf("covergate: total statement coverage %.1f%% (%d/%d statements), floor %.1f%%\n",
+		pct, hit, total, *min)
+	if pct < *min {
+		fmt.Fprintf(os.Stderr, "covergate: coverage %.1f%% dropped below the recorded floor %.1f%%\n", pct, *min)
+		os.Exit(1)
+	}
+}
