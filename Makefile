@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench bench-smoke bench-json profile staticcheck fuzz-smoke cover ci
+.PHONY: all build test race vet fmt fmt-check bench bench-smoke bench-json bench-serve profile staticcheck fuzz-smoke cover ci
 
 all: build
 
@@ -46,6 +46,25 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'E8Inflationary|E10Distance|E13JoinPlanner|E14IncrementalUpdate|E15FrontierScaling|E16MagicQuery' \
 		-benchtime 100ms -count 5 . | tee bench-json.txt
 	$(GO) run ./scripts/benchjson bench-json.txt > BENCH_PR5.json
+
+# Production-serving benchmark: generate a TC workload, start the
+# daemon, drive it with cmd/loadgen (mixed read/query/update traffic
+# over 16 connections), add the group-commit vs serialized update
+# microbenchmarks, and render everything to BENCH_SERVE.json — the
+# serving-path counterpart of bench-json, committed for the trajectory
+# and uploaded by CI.
+BENCH_SERVE_DURATION ?= 10s
+BENCH_SERVE_ADDR ?= :8123
+bench-serve:
+	$(GO) build -o /tmp/repro-serve ./cmd/serve
+	$(GO) run ./cmd/genwork -kind program -name tc > /tmp/bench-serve-prog.dl
+	$(GO) run ./cmd/genwork -kind graph -n 24 -p 0.15 -seed 1 > /tmp/bench-serve-facts.dl
+	/tmp/repro-serve -program /tmp/bench-serve-prog.dl -facts /tmp/bench-serve-facts.dl -addr $(BENCH_SERVE_ADDR) & \
+	pid=$$!; sleep 2; \
+	$(GO) run ./cmd/loadgen -addr http://localhost$(BENCH_SERVE_ADDR) -conns 16 -duration $(BENCH_SERVE_DURATION) > bench-serve.txt; \
+	st=$$?; kill $$pid; [ $$st -eq 0 ]
+	$(GO) test -run '^$$' -bench ServeUpdate16 -benchtime 2s ./internal/server | tee -a bench-serve.txt
+	$(GO) run ./scripts/benchjson bench-serve.txt > BENCH_SERVE.json
 
 # CPU + allocation profiles of the hot evaluation path (the E8/E10
 # series), written to profiles/, with a top-20 summary printed for each

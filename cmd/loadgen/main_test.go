@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graphs"
+	"repro/internal/parser"
+	"repro/internal/server"
+)
+
+func TestFlags(t *testing.T) {
+	var opts options
+	fs := newFlags("loadgen", &opts)
+	if err := fs.Parse([]string{"-conns", "4", "-duration", "2s", "-qps", "100", "-mix", "read=1"}); err != nil {
+		t.Fatal(err)
+	}
+	if opts.conns != 4 || opts.duration != 2*time.Second || opts.qps != 100 || opts.mix != "read=1" {
+		t.Fatalf("opts = %+v", opts)
+	}
+	if opts.addr == "" || opts.seed == 0 {
+		t.Fatalf("defaults missing: %+v", opts)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	w, err := parseMix("read=40, query=40,update=20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w["read"] != 40 || w["query"] != 40 || w["update"] != 20 {
+		t.Fatalf("weights = %v", w)
+	}
+	for _, bad := range []string{"", "read", "read=x", "read=-1", "write=10", "read=0,query=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestEndToEnd drives a real in-process server: discovery, a short
+// mixed-traffic run across all three classes, and the bench-format
+// report — every request must succeed and every class must appear.
+func TestEndToEnd(t *testing.T) {
+	prog := parser.MustProgram("s(X,Y) :- E(X,Y).\ns(X,Y) :- E(X,Z), s(Z,Y).")
+	srv, err := server.New(prog, graphs.Path(8).Database(), core.Inflationary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	opts := options{addr: ts.URL, conns: 3, seed: 1}
+	tg, err := discover(&opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.queryPred != "s" || tg.updatePred != "E" || tg.queryArity != 2 || len(tg.consts) == 0 {
+		t.Fatalf("discovery = %+v", tg)
+	}
+
+	weights := map[string]int{"read": 2, "query": 2, "update": 1}
+	recs := map[string]*classRec{}
+	for _, c := range classes {
+		recs[c] = &classRec{}
+	}
+	deadline := time.Now().Add(250 * time.Millisecond)
+	worker(0, &opts, weights, tg, recs, deadline)
+	for _, c := range classes {
+		if recs[c].count.Load() == 0 {
+			t.Errorf("class %s issued no requests", c)
+		}
+		if e := recs[c].errors.Load(); e != 0 {
+			t.Errorf("class %s saw %d errors", c, e)
+		}
+	}
+
+	var buf bytes.Buffer
+	report(&buf, &opts, recs, 250*time.Millisecond)
+	out := buf.String()
+	for _, want := range []string{
+		"goos:", "pkg: repro/cmd/loadgen",
+		"BenchmarkServeLoad/read-3", "BenchmarkServeLoad/query-3",
+		"BenchmarkServeLoad/update-3", "BenchmarkServeLoad/total-3",
+		"ns/op", "qps", "p99-us",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report lacks %q:\n%s", want, out)
+		}
+	}
+
+	// A paced run exercises the qps ticker path.
+	opts.qps = 1000
+	worker(1, &opts, weights, tg, recs, time.Now().Add(50*time.Millisecond))
+}
+
+// TestBuildDeckExactMix: the schedule realizes the weights exactly.
+func TestBuildDeckExactMix(t *testing.T) {
+	weights := map[string]int{"read": 4, "query": 3, "update": 2}
+	deck := buildDeck(weights, rand.New(rand.NewSource(1)))
+	if len(deck) != 9 {
+		t.Fatalf("deck length %d, want 9", len(deck))
+	}
+	counts := map[string]int{}
+	for _, c := range deck {
+		counts[c]++
+	}
+	for c, w := range weights {
+		if counts[c] != w {
+			t.Errorf("class %s appears %d times, want %d", c, counts[c], w)
+		}
+	}
+}

@@ -3,18 +3,21 @@
 // once, and then serves queries from immutable snapshots while
 // accepting fact inserts/deletes that are maintained incrementally
 // (counting/DRed for stratified strata, stage-log replay for general
-// inflationary programs) instead of recomputed.
+// inflationary programs) instead of recomputed.  Concurrent updates
+// are group-committed: a bounded queue coalesces them into shared
+// maintainer passes, and a full queue sheds load with 429.
 //
 // Usage:
 //
 //	serve -program tc.dl -facts graph.dl [-semantics inflationary] [-addr :8090]
 //
-// API (JSON):
+// API (JSON; see internal/server for the wire types):
 //
 //	GET  /v1/stats
 //	GET  /v1/relation?pred=s
-//	POST /v1/query   {"pred":"s","args":["v1",null]}
-//	POST /v1/update  {"insert":[{"pred":"E","args":["a","b"]}],"delete":[]}
+//	POST /v1/query    {"pred":"s","args":["v1",null]}
+//	POST /v1/update   {"insert":[{"pred":"E","args":["a","b"]}],"delete":[]}
+//	GET  /v1/metrics
 package main
 
 import (
@@ -35,53 +38,92 @@ import (
 	"repro/internal/server"
 )
 
+// options collects every serve flag.  Each engine knob the evaluator
+// exposes has a flag here; the values travel to the server through
+// server.Config / engine.Options, never through process globals.
+type options struct {
+	program   string
+	facts     string
+	semantics string
+	addr      string
+
+	workers  int
+	planner  bool
+	frontier bool
+	shard    bool
+
+	magic        bool
+	queueDepth   int
+	commitWindow time.Duration
+	maxBatch     int
+}
+
+// newFlags defines the flag set over opts.  Split from main so tests
+// can exercise the definitions and golden-check the -help output.
+func newFlags(name string, opts *options) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	fs.StringVar(&opts.program, "program", "", "path to the DATALOG¬ program (required)")
+	fs.StringVar(&opts.facts, "facts", "", "path to the fact file (required)")
+	fs.StringVar(&opts.semantics, "semantics", "inflationary", "inflationary|lfp|stratified|wellfounded")
+	fs.StringVar(&opts.addr, "addr", ":8090", "listen address")
+	fs.IntVar(&opts.workers, "workers", 0, "Θ evaluation worker-pool size (0 = GOMAXPROCS)")
+	fs.BoolVar(&opts.planner, "planner", true, "cost-based join planning (false = syntactic literal order)")
+	fs.BoolVar(&opts.frontier, "frontier", true, "fused dedup-at-emit derivation (false = derive+Diff baseline)")
+	fs.BoolVar(&opts.shard, "shard", true, "intra-rule data-parallel sharding when rules < workers")
+	fs.BoolVar(&opts.magic, "magic", false, "answer /v1/query IDB queries demand-driven (magic-set rewriting) by default")
+	fs.IntVar(&opts.queueDepth, "queue-depth", 256, "bound on queued updates; a full queue answers 429")
+	fs.DurationVar(&opts.commitWindow, "commit-window", 0, "how long the committer waits for more updates to coalesce (0 = drain-only)")
+	fs.IntVar(&opts.maxBatch, "max-batch", 1024, "max update requests coalesced into one maintainer pass")
+	return fs
+}
+
+// serverConfig translates the flags into the server's options API.
+func (o *options) serverConfig() server.Config {
+	return server.Config{
+		Engine: engine.Options{
+			Workers:  o.workers,
+			Planner:  engine.ToggleOf(o.planner),
+			Frontier: engine.ToggleOf(o.frontier),
+			Sharding: engine.ToggleOf(o.shard),
+		},
+		MagicDefault: o.magic,
+		QueueDepth:   o.queueDepth,
+		CommitWindow: o.commitWindow,
+		MaxBatch:     o.maxBatch,
+	}
+}
+
 func main() {
-	var (
-		programPath = flag.String("program", "", "path to the DATALOG¬ program")
-		factsPath   = flag.String("facts", "", "path to the fact file")
-		semName     = flag.String("semantics", "inflationary", "inflationary|lfp|stratified|wellfounded")
-		addr        = flag.String("addr", ":8090", "listen address")
-		workers     = flag.Int("workers", 0, "Θ evaluation worker-pool size (0 = GOMAXPROCS)")
-		planner     = flag.Bool("planner", true, "cost-based join planning (false = syntactic literal order)")
-		frontier    = flag.Bool("frontier", true, "fused dedup-at-emit derivation (false = derive+Diff baseline)")
-		shard       = flag.Bool("shard", true, "intra-rule data-parallel sharding when rules < workers")
-		magicDft    = flag.Bool("magic", false, "answer /v1/query IDB queries demand-driven (magic-set rewriting) by default")
-	)
-	flag.Parse()
-	if *programPath == "" || *factsPath == "" {
+	var opts options
+	fs := newFlags("serve", &opts)
+	fs.Parse(os.Args[1:])
+	if opts.program == "" || opts.facts == "" {
 		fmt.Fprintln(os.Stderr, "usage: serve -program FILE -facts FILE [-semantics NAME] [-addr :8090]")
-		flag.PrintDefaults()
+		fs.PrintDefaults()
 		os.Exit(2)
 	}
-	engine.SetDefaultWorkers(*workers)
-	engine.SetDefaultCostPlanner(*planner)
-	engine.SetDefaultFrontier(*frontier)
-	engine.SetDefaultSharding(*shard)
 
-	prog, err := parser.ProgramFile(*programPath)
+	prog, err := parser.ProgramFile(opts.program)
 	if err != nil {
 		fatal(err)
 	}
-	db, err := parser.FactsFile(*factsPath)
+	db, err := parser.FactsFile(opts.facts)
 	if err != nil {
 		fatal(err)
 	}
-	sem, err := core.ParseSemantics(*semName)
+	sem, err := core.ParseSemantics(opts.semantics)
 	if err != nil {
 		fatal(err)
 	}
 
 	start := time.Now()
-	srv, err := server.New(prog, db, sem)
+	srv, err := server.NewWith(prog, db, sem, opts.serverConfig())
 	if err != nil {
 		fatal(err)
 	}
-	if *magicDft {
-		if !srv.MagicSupported() {
-			fatal(fmt.Errorf("-magic requires lfp, stratified, or coinciding inflationary semantics"))
-		}
-		srv.SetMagicDefault(true)
-		log.Printf("serve: demand-driven (magic) query path on by default")
+	defer srv.Close()
+	if opts.magic && !srv.MagicSupported() {
+		fatal(fmt.Errorf("-magic requires lfp, stratified, or coinciding inflationary semantics"))
 	}
 	snap := srv.Snapshot()
 	total := 0
@@ -90,8 +132,11 @@ func main() {
 	}
 	log.Printf("serve: %s semantics, %d relations, %d tuples, initial evaluation in %v",
 		sem, len(snap.Rels), total, time.Since(start).Round(time.Millisecond))
+	log.Printf("serve: workers=%d planner=%t frontier=%t shard=%t magic=%t queue-depth=%d commit-window=%v max-batch=%d",
+		opts.workers, opts.planner, opts.frontier, opts.shard, opts.magic,
+		opts.queueDepth, opts.commitWindow, opts.maxBatch)
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	hs := &http.Server{Addr: opts.addr, Handler: srv.Handler()}
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	go func() {
@@ -100,7 +145,7 @@ func main() {
 		defer c()
 		hs.Shutdown(shutdownCtx)
 	}()
-	log.Printf("serve: listening on %s", *addr)
+	log.Printf("serve: listening on %s", opts.addr)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}

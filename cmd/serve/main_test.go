@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestHelpGolden pins the -help output: every engine and queue knob
+// must stay documented, with its default visible.
+func TestHelpGolden(t *testing.T) {
+	var opts options
+	fs := newFlags("serve", &opts)
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	fs.PrintDefaults()
+
+	golden := filepath.Join("testdata", "help.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-help output drifted from %s (run with -update to regenerate):\n got:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+}
+
+// TestServerConfig checks that every flag reaches the options API.
+func TestServerConfig(t *testing.T) {
+	var opts options
+	fs := newFlags("serve", &opts)
+	err := fs.Parse([]string{
+		"-workers", "3", "-planner=false", "-frontier=false", "-shard=false",
+		"-magic", "-queue-depth", "7", "-commit-window", "2ms", "-max-batch", "9",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := opts.serverConfig()
+	if cfg.Engine.Workers != 3 {
+		t.Errorf("Workers = %d, want 3", cfg.Engine.Workers)
+	}
+	for name, tog := range map[string]engine.Toggle{
+		"Planner": cfg.Engine.Planner, "Frontier": cfg.Engine.Frontier, "Sharding": cfg.Engine.Sharding,
+	} {
+		if tog != engine.Off {
+			t.Errorf("%s = %v, want Off", name, tog)
+		}
+	}
+	if !cfg.MagicDefault || cfg.QueueDepth != 7 || cfg.CommitWindow != 2*time.Millisecond || cfg.MaxBatch != 9 {
+		t.Errorf("queue config = %+v", cfg)
+	}
+
+	// And the zero-flag path yields On toggles (flag defaults true).
+	var dft options
+	newFlags("serve", &dft).Parse(nil)
+	if c := dft.serverConfig(); c.Engine.Planner != engine.On || c.Engine.Frontier != engine.On || c.Engine.Sharding != engine.On {
+		t.Errorf("default toggles = %+v, want all On", c.Engine)
+	}
+}

@@ -105,26 +105,34 @@ func (r *EvalResult) Carrier(prog *ast.Program) (*relation.Relation, error) {
 // is not modified (evaluation works on a clone, since the engine
 // interns program constants into the universe it is given).
 func Eval(prog *ast.Program, db *relation.Database, sem Semantics, mode semantics.Mode) (*EvalResult, error) {
+	return EvalOpts(prog, db, sem, mode, engine.Options{})
+}
+
+// EvalOpts is Eval with per-call engine options (worker-pool size,
+// planner, frontier, sharding) applied to every instance the
+// evaluation constructs — the options-API replacement for toggling the
+// process-wide engine.SetDefault* knobs around a call.
+func EvalOpts(prog *ast.Program, db *relation.Database, sem Semantics, mode semantics.Mode, opt engine.Options) (*EvalResult, error) {
 	if _, err := prog.Validate(); err != nil {
 		return nil, err
 	}
 	res := &EvalResult{Semantics: sem, Class: prog.Classify()}
 	switch sem {
 	case Stratified:
-		r, err := semantics.StratifiedMode(prog, db, mode)
+		r, err := semantics.StratifiedOpts(prog, db, mode, opt)
 		if err != nil {
 			return nil, err
 		}
 		res.State, res.Stats, res.Universe = r.State, r.Stats, r.Universe
 	case Inflationary:
-		in, err := engine.New(prog, db.Clone())
+		in, err := engine.NewWith(prog, db.Clone(), opt)
 		if err != nil {
 			return nil, err
 		}
 		r := semantics.InflationaryMode(in, mode)
 		res.State, res.Stats, res.Universe = r.State, r.Stats, r.Universe
 	case LFP:
-		in, err := engine.New(prog, db.Clone())
+		in, err := engine.NewWith(prog, db.Clone(), opt)
 		if err != nil {
 			return nil, err
 		}
@@ -134,7 +142,7 @@ func Eval(prog *ast.Program, db *relation.Database, sem Semantics, mode semantic
 		}
 		res.State, res.Stats, res.Universe = r.State, r.Stats, r.Universe
 	case WellFounded:
-		in, err := engine.New(prog, db.Clone())
+		in, err := engine.NewWith(prog, db.Clone(), opt)
 		if err != nil {
 			return nil, err
 		}
@@ -171,14 +179,20 @@ func QueryStrategy(sem Semantics, c ast.Class) (stratified, ok bool) {
 // rewriting; see internal/magic and semantics.QueryLFP/
 // QueryStratified) under the chosen semantics.  db is not modified.
 func Query(prog *ast.Program, db *relation.Database, q magic.Query, sem Semantics, mode semantics.Mode) (*semantics.QueryResult, error) {
+	return QueryOpts(prog, db, q, sem, mode, engine.Options{})
+}
+
+// QueryOpts is Query with per-call engine options applied to the
+// rewritten program's evaluation.
+func QueryOpts(prog *ast.Program, db *relation.Database, q magic.Query, sem Semantics, mode semantics.Mode, opt engine.Options) (*semantics.QueryResult, error) {
 	stratified, ok := QueryStrategy(sem, prog.Classify())
 	if !ok {
 		return nil, fmt.Errorf("core: point queries require lfp, stratified, or coinciding inflationary semantics (program is %v, semantics %v)", prog.Classify(), sem)
 	}
 	if stratified {
-		return semantics.QueryStratified(prog, db, q, mode)
+		return semantics.QueryStratifiedOpts(prog, db, q, mode, opt)
 	}
-	return semantics.QueryLFP(prog, db, q, mode)
+	return semantics.QueryLFPOpts(prog, db, q, mode, opt)
 }
 
 // QueryFull answers the same query by full materialization plus a
@@ -187,7 +201,12 @@ func Query(prog *ast.Program, db *relation.Database, q magic.Query, sem Semantic
 // Predicates absent from the computed state (extensional, or untouched
 // by any rule) fall back to the database relation or an empty one.
 func QueryFull(prog *ast.Program, db *relation.Database, q magic.Query, sem Semantics, mode semantics.Mode) (*semantics.QueryResult, error) {
-	full, err := Eval(prog, db, sem, mode)
+	return QueryFullOpts(prog, db, q, sem, mode, engine.Options{})
+}
+
+// QueryFullOpts is QueryFull with per-call engine options.
+func QueryFullOpts(prog *ast.Program, db *relation.Database, q magic.Query, sem Semantics, mode semantics.Mode, opt engine.Options) (*semantics.QueryResult, error) {
+	full, err := EvalOpts(prog, db, sem, mode, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -313,6 +313,11 @@ var defaultWorkers atomic.Int32
 
 // SetDefaultWorkers sets the process-wide default worker-pool size for
 // instances without an explicit SetWorkers; n ≤ 0 restores GOMAXPROCS.
+//
+// Deprecated: process-wide defaults compose badly across concurrent
+// callers.  Prefer the per-call Options API (Options.Workers, threaded
+// through core.EvalOpts / incr.NewWith / server.Config / repro.Options);
+// this setter remains as the fallback the zero Options resolve to.
 func SetDefaultWorkers(n int) {
 	if n < 0 {
 		n = 0

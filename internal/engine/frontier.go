@@ -108,30 +108,36 @@ var (
 
 // SetDefaultFrontier sets the process-wide default for instances
 // without an explicit SetFrontier call.  On by default.
+//
+// Deprecated: prefer Options.Frontier per call; this setter remains as
+// the fallback a ToggleDefault resolves to.
 func SetDefaultFrontier(on bool) { defaultFrontierOff.Store(!on) }
 
 // SetFrontier selects this instance's implementation of the Frontier
 // entry points: true fuses the membership probe into the emit loop,
 // false computes derive+Diff — bit-exact either way, the knob is the
 // ablation baseline and test oracle.
-func (in *Instance) SetFrontier(on bool) { in.frontier = triSet(on) }
+func (in *Instance) SetFrontier(on bool) { in.frontier = ToggleOf(on) }
 
 // FrontierEval reports the effective frontier setting: the value set
 // with SetFrontier, else the process default, else on.
-func (in *Instance) FrontierEval() bool { return in.frontier.resolve(defaultFrontierOff.Load()) }
+func (in *Instance) FrontierEval() bool { return in.frontier.Enabled(!defaultFrontierOff.Load()) }
 
 // SetDefaultSharding sets the process-wide default for instances
 // without an explicit SetSharding call.  On by default.
+//
+// Deprecated: prefer Options.Sharding per call; this setter remains as
+// the fallback a ToggleDefault resolves to.
 func SetDefaultSharding(on bool) { defaultShardingOff.Store(!on) }
 
 // SetSharding enables or disables intra-rule data parallelism (the
 // arena-range shard expansion of runTasks).  Sharded and unsharded
 // evaluation produce identical states; only core utilization differs.
-func (in *Instance) SetSharding(on bool) { in.sharding = triSet(on) }
+func (in *Instance) SetSharding(on bool) { in.sharding = ToggleOf(on) }
 
 // Sharding reports the effective sharding setting: the value set with
 // SetSharding, else the process default, else on.
-func (in *Instance) Sharding() bool { return in.sharding.resolve(defaultShardingOff.Load()) }
+func (in *Instance) Sharding() bool { return in.sharding.Enabled(!defaultShardingOff.Load()) }
 
 // minShardSpan is the smallest arena range worth a shard of its own:
 // below it, the per-task planning and context cost outweighs the

@@ -49,38 +49,6 @@ type rulePlan struct {
 	cmps      []cmpPlan
 }
 
-// triMode is a tri-state per-instance knob: follow the process-wide
-// default, or forced on/off for this instance.  The planner, frontier,
-// and sharding selectors all use it.
-type triMode int8
-
-const (
-	triDefault triMode = iota
-	triOn
-	triOff
-)
-
-// set returns the forced mode for an explicit on/off request.
-func triSet(on bool) triMode {
-	if on {
-		return triOn
-	}
-	return triOff
-}
-
-// resolve reports the effective boolean: the forced value if set, else
-// the process default (defaultOff inverted, so the zero atomic means
-// "on by default").
-func (m triMode) resolve(defaultOff bool) bool {
-	switch m {
-	case triOn:
-		return true
-	case triOff:
-		return false
-	}
-	return !defaultOff
-}
-
 // Instance binds a validated program to a database, compiling every
 // rule into an evaluation plan.  Program constants are interned into
 // the database universe at construction (they become part of the
@@ -97,14 +65,14 @@ type Instance struct {
 	// 0 means GOMAXPROCS.  See SetWorkers.
 	nworkers int
 	// planner selects the join-planning strategy.  See SetCostPlanner.
-	planner triMode
+	planner Toggle
 	// frontier selects fused dedup-at-emit derivation for the Frontier
 	// entry points; off restores the derive+Diff oracle.  See SetFrontier.
-	frontier triMode
+	frontier Toggle
 	// sharding allows intra-rule data parallelism: splitting a task's
 	// driver relation into arena-range shards when tasks < workers.  See
 	// SetSharding.
-	sharding triMode
+	sharding Toggle
 }
 
 // New compiles prog against db.  It returns an error if the program

@@ -316,17 +316,20 @@ var defaultPlannerOff atomic.Bool
 // SetDefaultCostPlanner sets the process-wide default for instances
 // without an explicit SetCostPlanner call.  The planner is on by
 // default.
+//
+// Deprecated: prefer Options.Planner per call; this setter remains as
+// the fallback a ToggleDefault resolves to.
 func SetDefaultCostPlanner(on bool) { defaultPlannerOff.Store(!on) }
 
 // SetCostPlanner fixes this instance's planning strategy: true selects
 // cost-based join ordering with composite-index access paths, false the
 // legacy syntactic order with single-column probes.  Both strategies
 // derive exactly the same relations; only evaluation cost differs.
-func (in *Instance) SetCostPlanner(on bool) { in.planner = triSet(on) }
+func (in *Instance) SetCostPlanner(on bool) { in.planner = ToggleOf(on) }
 
 // CostPlanner reports the effective planning strategy: the value set
 // with SetCostPlanner, else the process default, else on.
-func (in *Instance) CostPlanner() bool { return in.planner.resolve(defaultPlannerOff.Load()) }
+func (in *Instance) CostPlanner() bool { return in.planner.Enabled(!defaultPlannerOff.Load()) }
 
 // relFor resolves the relation a literal reads during Explain: the
 // database for EDB predicates, s for IDB ones (empty when s lacks the

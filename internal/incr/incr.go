@@ -96,6 +96,7 @@ const (
 type Maintainer struct {
 	prog    *ast.Program
 	sem     core.Semantics
+	opts    engine.Options // applied to every instance the maintainer builds
 	db      *relation.Database
 	arities map[string]int
 	idb     map[string]bool
@@ -118,6 +119,14 @@ type Maintainer struct {
 // New builds a maintainer for prog on a private clone of db, runs the
 // initial evaluation under sem, and returns it ready for updates.
 func New(prog *ast.Program, db *relation.Database, sem core.Semantics) (*Maintainer, error) {
+	return NewWith(prog, db, sem, engine.Options{})
+}
+
+// NewWith is New with per-call engine options applied to every
+// instance the maintainer builds — the initial evaluation and every
+// maintenance pass run with the same worker-pool/planner/frontier/
+// sharding configuration.
+func NewWith(prog *ast.Program, db *relation.Database, sem core.Semantics, opts engine.Options) (*Maintainer, error) {
 	arities, err := prog.Validate()
 	if err != nil {
 		return nil, err
@@ -125,6 +134,7 @@ func New(prog *ast.Program, db *relation.Database, sem core.Semantics) (*Maintai
 	m := &Maintainer{
 		prog:    prog,
 		sem:     sem,
+		opts:    opts,
 		db:      db.Clone(),
 		arities: arities,
 		idb:     prog.IDB(),
@@ -163,7 +173,7 @@ func New(prog *ast.Program, db *relation.Database, sem core.Semantics) (*Maintai
 		}
 		m.evalStrata()
 	case stratReplay, stratWF:
-		in, err := engine.New(prog, m.db)
+		in, err := engine.NewWith(prog, m.db, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -48,7 +48,7 @@ func (m *Maintainer) initStrata() error {
 	m.strata = nil
 	for k := 0; k < strat.NumStrata(); k++ {
 		sub := &ast.Program{Rules: m.prog.RulesForStratum(strat, k)}
-		in, err := engine.New(sub, m.db)
+		in, err := engine.NewWith(sub, m.db, m.opts)
 		if err != nil {
 			return err
 		}

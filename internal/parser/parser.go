@@ -3,6 +3,7 @@ package parser
 import (
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/ast"
@@ -340,21 +341,30 @@ func FactsFile(path string) (*relation.Database, error) {
 }
 
 // FormatDatabase renders db as a fact file that Facts can re-read.
+// Lines are sorted textually within each relation so the output is
+// canonical: Tuples() iterates in packed-key order, which depends on
+// symbol intern order and therefore on the order facts were first
+// read — formatting the re-parsed output would otherwise reshuffle it.
 func FormatDatabase(db *relation.Database) string {
 	var b strings.Builder
 	u := db.Universe()
 	for _, name := range db.SortedNames() {
 		rel := db.Relation(name)
+		lines := make([]string, 0, rel.Len())
 		for _, t := range rel.Tuples() {
 			args := make([]string, len(t))
 			for i, v := range t {
 				args[i] = ast.Const(u.Name(v)).String()
 			}
 			if len(args) == 0 {
-				fmt.Fprintf(&b, "%s.\n", name)
+				lines = append(lines, name+".\n")
 			} else {
-				fmt.Fprintf(&b, "%s(%s).\n", name, strings.Join(args, ","))
+				lines = append(lines, fmt.Sprintf("%s(%s).\n", name, strings.Join(args, ",")))
 			}
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			b.WriteString(l)
 		}
 	}
 	return b.String()

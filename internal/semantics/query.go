@@ -47,20 +47,35 @@ func QueryLFP(prog *ast.Program, db *relation.Database, q magic.Query, mode Mode
 	default:
 		return nil, fmt.Errorf("least fixpoint queries require a positive or semipositive program; this one is %v", c)
 	}
-	return queryEval(prog, db, q, false, mode)
+	return queryEval(prog, db, q, false, mode, engine.Options{})
+}
+
+// QueryLFPOpts is QueryLFP with per-call engine options.
+func QueryLFPOpts(prog *ast.Program, db *relation.Database, q magic.Query, mode Mode, opt engine.Options) (*QueryResult, error) {
+	switch c := prog.Classify(); c {
+	case ast.ClassPositive, ast.ClassSemipositive:
+	default:
+		return nil, fmt.Errorf("least fixpoint queries require a positive or semipositive program; this one is %v", c)
+	}
+	return queryEval(prog, db, q, false, mode, opt)
 }
 
 // QueryStratified answers q on prog under the stratified semantics.
 // It errors on unstratifiable programs, like Stratified.  db is not
 // modified.
 func QueryStratified(prog *ast.Program, db *relation.Database, q magic.Query, mode Mode) (*QueryResult, error) {
-	return queryEval(prog, db, q, true, mode)
+	return queryEval(prog, db, q, true, mode, engine.Options{})
+}
+
+// QueryStratifiedOpts is QueryStratified with per-call engine options.
+func QueryStratifiedOpts(prog *ast.Program, db *relation.Database, q magic.Query, mode Mode, opt engine.Options) (*QueryResult, error) {
+	return queryEval(prog, db, q, true, mode, opt)
 }
 
 // queryEval validates the query, answers extensional predicates by a
 // direct probe, and otherwise rewrites and evaluates on a private
 // clone of db.
-func queryEval(prog *ast.Program, db *relation.Database, q magic.Query, stratified bool, mode Mode) (*QueryResult, error) {
+func queryEval(prog *ast.Program, db *relation.Database, q magic.Query, stratified bool, mode Mode, opt engine.Options) (*QueryResult, error) {
 	arities, err := prog.Validate()
 	if err != nil {
 		return nil, err
@@ -88,7 +103,7 @@ func queryEval(prog *ast.Program, db *relation.Database, q magic.Query, stratifi
 	if err != nil {
 		return nil, err
 	}
-	return QueryRewritten(rw, db.Clone(), q, stratified, mode)
+	return QueryRewrittenOpts(rw, db.Clone(), q, stratified, mode, opt)
 }
 
 // QueryRewritten evaluates a prepared rewrite against work, which the
@@ -98,6 +113,12 @@ func queryEval(prog *ast.Program, db *relation.Database, q magic.Query, stratifi
 // server builds one per query from a snapshot's extensional relations
 // — skip the Clone that QueryLFP/QueryStratified pay.
 func QueryRewritten(rw *magic.Rewritten, work *relation.Database, q magic.Query, stratified bool, mode Mode) (*QueryResult, error) {
+	return QueryRewrittenOpts(rw, work, q, stratified, mode, engine.Options{})
+}
+
+// QueryRewrittenOpts is QueryRewritten with per-call engine options
+// applied to the rewritten program's evaluation.
+func QueryRewrittenOpts(rw *magic.Rewritten, work *relation.Database, q magic.Query, stratified bool, mode Mode, opt engine.Options) (*QueryResult, error) {
 	// Universe parity with full evaluation: the active domain is the
 	// database universe plus every original program constant, and unsafe
 	// rules range over exactly that set.
@@ -131,13 +152,13 @@ func QueryRewritten(rw *magic.Rewritten, work *relation.Database, q magic.Query,
 
 	var res *Result
 	if stratified {
-		r, err := stratifiedIn(rw.Program, work, mode)
+		r, err := stratifiedIn(rw.Program, work, mode, opt)
 		if err != nil {
 			return nil, err
 		}
 		res = r
 	} else {
-		in, err := engine.New(rw.Program, work)
+		in, err := engine.NewWith(rw.Program, work, opt)
 		if err != nil {
 			return nil, err
 		}

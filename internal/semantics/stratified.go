@@ -23,7 +23,13 @@ func Stratified(prog *ast.Program, db *relation.Database) (*Result, error) {
 
 // StratifiedMode is Stratified with an explicit evaluation mode.
 func StratifiedMode(prog *ast.Program, db *relation.Database, mode Mode) (*Result, error) {
-	return stratifiedIn(prog, db.Clone(), mode)
+	return stratifiedIn(prog, db.Clone(), mode, engine.Options{})
+}
+
+// StratifiedOpts is StratifiedMode with per-call engine options applied
+// to every stratum's instance.
+func StratifiedOpts(prog *ast.Program, db *relation.Database, mode Mode, opt engine.Options) (*Result, error) {
+	return stratifiedIn(prog, db.Clone(), mode, opt)
 }
 
 // stratifiedIn is the stratified evaluation loop on a caller-owned
@@ -31,7 +37,7 @@ func StratifiedMode(prog *ast.Program, db *relation.Database, mode Mode) (*Resul
 // interned into its universe, computed strata are installed as
 // relations).  QueryRewritten uses it to evaluate rewritten programs
 // without deep-copying a database it already owns.
-func stratifiedIn(prog *ast.Program, work *relation.Database, mode Mode) (*Result, error) {
+func stratifiedIn(prog *ast.Program, work *relation.Database, mode Mode, opt engine.Options) (*Result, error) {
 	strat, err := prog.Stratify()
 	if err != nil {
 		return nil, err
@@ -49,7 +55,7 @@ func stratifiedIn(prog *ast.Program, work *relation.Database, mode Mode) (*Resul
 		// Predicates of lower strata appear only in bodies of sub, so
 		// they are EDB there and read from work, where the previous
 		// iterations installed their computed values.
-		inst, err := engine.New(sub, work)
+		inst, err := engine.NewWith(sub, work, opt)
 		if err != nil {
 			return nil, fmt.Errorf("stratum %d: %w", k, err)
 		}

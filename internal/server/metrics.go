@@ -1,0 +1,123 @@
+// metrics.go — per-endpoint telemetry and the /v1/metrics endpoint.
+//
+// Every handler is wrapped by instrument(), which records request
+// count, error count, a recent-rate window, and a latency histogram
+// into internal/metrics atomics — no locks on the request path, so
+// metrics scrapes and traffic never contend.  /v1/metrics renders the
+// whole picture: per-endpoint QPS and p50/p90/p99, snapshot age,
+// group-commit queue depth and batch sizes, and the magic rewrite
+// cache hit rate.
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// srvMetrics aggregates the server's telemetry.
+type srvMetrics struct {
+	endpoints map[string]*metrics.Endpoint
+	// Group-commit queue accounting.
+	enqueued  metrics.Counter
+	rejected  metrics.Counter
+	batches   metrics.Counter
+	coalesced metrics.Counter
+	maxBatch  metrics.Gauge
+	// lastPublish is the unix-nano time the current snapshot was
+	// published (snapshot age = now - lastPublish).
+	lastPublish metrics.Gauge
+	// Rewrite-cache accounting.
+	cacheHits   metrics.Counter
+	cacheMisses metrics.Counter
+}
+
+// endpointNames are the instrumented endpoints, in display order.
+var endpointNames = []string{"stats", "relation", "query", "update", "metrics"}
+
+func newSrvMetrics() *srvMetrics {
+	m := &srvMetrics{endpoints: make(map[string]*metrics.Endpoint, len(endpointNames))}
+	for _, name := range endpointNames {
+		m.endpoints[name] = &metrics.Endpoint{}
+	}
+	return m
+}
+
+// statusWriter captures the response status for error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// instrument wraps a handler with latency/error observation under the
+// named endpoint.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	ep := s.met.endpoints[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		ep.Observe(start, time.Since(start), sw.status >= 400)
+	}
+}
+
+// latencyUs renders a histogram as microsecond summary numbers.
+func latencyUs(h *metrics.Histogram) LatencyMetrics {
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	return LatencyMetrics{
+		MeanUs: us(h.Mean()),
+		P50Us:  us(h.Quantile(0.50)),
+		P90Us:  us(h.Quantile(0.90)),
+		P99Us:  us(h.Quantile(0.99)),
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	snap := s.cur.Load()
+
+	resp := MetricsResponse{
+		UptimeSec:  now.Sub(s.start).Seconds(),
+		Generation: snap.Gen,
+		Endpoints:  make(map[string]EndpointMetrics, len(endpointNames)),
+	}
+	if pub := s.met.lastPublish.Load(); pub > 0 {
+		resp.SnapshotAgeSec = now.Sub(time.Unix(0, pub)).Seconds()
+	}
+
+	batches := s.met.batches.Load()
+	resp.Queue = QueueMetrics{
+		Depth:     len(s.queue),
+		Capacity:  cap(s.queue),
+		Enqueued:  s.met.enqueued.Load(),
+		Rejected:  s.met.rejected.Load(),
+		Batches:   batches,
+		Coalesced: s.met.coalesced.Load(),
+		MaxBatch:  s.met.maxBatch.Load(),
+	}
+	if batches > 0 {
+		resp.Queue.MeanBatch = float64(resp.Queue.Coalesced) / float64(batches)
+	}
+
+	hits, misses := s.met.cacheHits.Load(), s.met.cacheMisses.Load()
+	resp.RewriteCache = CacheMetrics{Size: s.RewriteCacheSize(), Hits: hits, Misses: misses}
+	if hits+misses > 0 {
+		resp.RewriteCache.HitRate = float64(hits) / float64(hits+misses)
+	}
+
+	for name, ep := range s.met.endpoints {
+		resp.Endpoints[name] = EndpointMetrics{
+			Requests: ep.Requests.Load(),
+			Errors:   ep.Errors.Load(),
+			QPS10s:   ep.Recent.Rate(now, 10),
+			Latency:  latencyUs(&ep.Latency),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,33 +1,38 @@
 // Package server exposes an incrementally maintained DATALOG¬ program
 // over HTTP/JSON: point-in-time reads served from immutable snapshots
 // by any number of concurrent readers, and fact updates applied by a
-// single serialized maintainer.
+// single committer goroutine that group-commits concurrent batches
+// into one maintainer pass (see queue.go).
 //
-// Endpoints:
+// Endpoints (wire types in api.go, one structured error envelope):
 //
 //	GET  /v1/stats               program, semantics, generation, sizes
 //	GET  /v1/relation?pred=s     all tuples of one relation
 //	POST /v1/query               {"pred":"s","args":["v1",null]}  — null is a wildcard
 //	POST /v1/update              {"insert":[{"pred":"E","args":["a","b"]}],"delete":[...]}
+//	GET  /v1/metrics             QPS, latency percentiles, queue, cache
 //
 // Reads load the current snapshot pointer atomically and never block on
-// updates; updates run under a mutex, maintain the state through
-// internal/incr, and publish a fresh sealed snapshot.  Pattern queries
-// with multiple bound columns probe the snapshot's composite indexes.
+// updates; updates enqueue into the bounded group-commit queue (429 +
+// Retry-After when full), are coalesced by the committer, maintained
+// through internal/incr, and answered once the fresh sealed snapshot
+// containing them is published.  Pattern queries with multiple bound
+// columns probe the snapshot's composite indexes.
 //
 // /v1/query additionally has a demand-driven fast path: with
-// {"magic": true} (or the server's SetMagicDefault), an IDB query is
-// answered by magic-set rewriting the program for the query's
-// adornment and evaluating the rewritten program against the
-// snapshot's extensional relations — deriving only what the query can
-// reach instead of reading the full materialization.  Rewritten
-// programs are cached keyed by (predicate, adornment); they are
-// query-constant free by construction, so the cache never needs
-// invalidation (EDB updates change seeds and data, not the rewrite).
+// {"magic": true} (or Config.MagicDefault), an IDB query is answered by
+// magic-set rewriting the program for the query's adornment and
+// evaluating the rewritten program against the snapshot's extensional
+// relations — deriving only what the query can reach instead of
+// reading the full materialization.  Rewritten programs are cached
+// keyed by (predicate, adornment); they are query-constant free by
+// construction, so the cache never needs invalidation (EDB updates
+// change seeds and data, not the rewrite).
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -36,23 +41,67 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/incr"
 	"repro/internal/magic"
 	"repro/internal/relation"
 	"repro/internal/semantics"
 )
 
+// Config tunes one server instance.  The zero value is production-safe
+// defaults: engine defaults, a 256-deep update queue, drain-only
+// coalescing (no added latency when idle), and at most 1024 requests
+// per maintainer pass.
+type Config struct {
+	// Engine options are threaded into the maintainer and every
+	// demand-driven query evaluation.
+	Engine engine.Options
+	// MagicDefault answers /v1/query IDB queries demand-driven unless
+	// the request says {"magic": false}.
+	MagicDefault bool
+	// QueueDepth bounds the update queue; a full queue fails requests
+	// with 429 (admission control).  0 means 256.
+	QueueDepth int
+	// CommitWindow is how long the committer waits after the first
+	// queued update for more to coalesce.  0 (the default) commits
+	// whatever has already accumulated without waiting — group commit
+	// forms naturally under load and costs nothing when idle.
+	CommitWindow time.Duration
+	// MaxBatch caps the requests coalesced into one maintainer pass.
+	// 0 means 1024.
+	MaxBatch int
+}
+
+// withDefaults fills the zero fields.
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1024
+	}
+	return c
+}
+
 // Server serves one maintained program instance.
 type Server struct {
+	cfg   Config
 	prog  *ast.Program
 	class string // prog's syntactic class, computed once (Classify stratifies)
 	edb   map[string]bool
 	idb   map[string]bool
 	arity map[string]int
-	mu    sync.Mutex // serializes updates (the single maintainer)
+	mu    sync.Mutex // serializes maintainer passes
 	m     *incr.Maintainer
 	cur   atomic.Pointer[incr.Snapshot]
 	start time.Time
+	met   *srvMetrics
+
+	// Group-commit update queue (queue.go).
+	queue  chan *updateJob
+	qstop  chan struct{}
+	qdone  chan struct{}
+	closed atomic.Bool
 
 	// Demand-driven query support: available when the maintained
 	// semantics has a magic-rewritable reading (LFP, stratified, or
@@ -66,9 +115,18 @@ type Server struct {
 }
 
 // New builds a server maintaining prog on a private copy of db under
-// the given semantics, with the initial evaluation done and published.
+// the given semantics with default configuration, the initial
+// evaluation done and published, and the committer running.
 func New(prog *ast.Program, db *relation.Database, sem core.Semantics) (*Server, error) {
-	m, err := incr.New(prog, db, sem)
+	return NewWith(prog, db, sem, Config{})
+}
+
+// NewWith is New with explicit configuration — the options-API entry
+// point: engine knobs, the magic default, and the group-commit queue
+// shape all travel in cfg instead of process-wide setters.
+func NewWith(prog *ast.Program, db *relation.Database, sem core.Semantics, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	m, err := incr.NewWith(prog, db, sem, cfg.Engine)
 	if err != nil {
 		return nil, err
 	}
@@ -78,6 +136,7 @@ func New(prog *ast.Program, db *relation.Database, sem core.Semantics) (*Server,
 	}
 	class := prog.Classify()
 	s := &Server{
+		cfg:      cfg,
 		prog:     prog,
 		class:    class.String(),
 		edb:      prog.EDB(),
@@ -85,12 +144,19 @@ func New(prog *ast.Program, db *relation.Database, sem core.Semantics) (*Server,
 		arity:    arities,
 		m:        m,
 		start:    time.Now(),
+		met:      newSrvMetrics(),
+		queue:    make(chan *updateJob, cfg.QueueDepth),
+		qstop:    make(chan struct{}),
+		qdone:    make(chan struct{}),
 		rewrites: make(map[string]*magic.Rewritten),
 	}
 	// One rule for every entry point: LFP and stratified always,
 	// inflationary exactly where it coincides with LFP.
 	s.magicStrat, s.magicOK = core.QueryStrategy(sem, class)
+	s.magicDft.Store(cfg.MagicDefault)
 	s.cur.Store(m.Snapshot())
+	s.met.lastPublish.Set(time.Now().UnixNano())
+	go s.committer()
 	return s, nil
 }
 
@@ -118,8 +184,10 @@ func (s *Server) rewriteFor(pred string, pattern []bool) (*magic.Rewritten, erro
 	s.rwMu.Lock()
 	defer s.rwMu.Unlock()
 	if rw, ok := s.rewrites[key]; ok {
+		s.met.cacheHits.Inc()
 		return rw, nil
 	}
+	s.met.cacheMisses.Inc()
 	rw, err := magic.Rewrite(s.prog, pred, pattern)
 	if err != nil {
 		return nil, err
@@ -131,11 +199,12 @@ func (s *Server) rewriteFor(pred string, pattern []bool) (*magic.Rewritten, erro
 // Snapshot returns the currently published snapshot.
 func (s *Server) Snapshot() *incr.Snapshot { return s.cur.Load() }
 
-// Update applies an update through the maintainer and publishes the new
-// snapshot, returning both.  Safe for concurrent use; updates are
+// Update applies one update through the maintainer and publishes the
+// new snapshot, returning both.  Safe for concurrent use; passes are
 // serialized, and the returned snapshot is the one this update
 // published (a fresh s.cur.Load() could already belong to a later
-// update).
+// update).  HTTP traffic goes through EnqueueUpdate instead, which
+// group-commits concurrent callers into shared passes.
 func (s *Server) Update(ins, del []incr.Fact) (*incr.UpdateStats, *incr.Snapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -145,27 +214,19 @@ func (s *Server) Update(ins, del []incr.Fact) (*incr.UpdateStats, *incr.Snapshot
 	}
 	snap := s.m.Snapshot()
 	s.cur.Store(snap)
+	s.met.lastPublish.Set(time.Now().UnixNano())
 	return stats, snap, nil
 }
 
 // Handler returns the HTTP API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /v1/relation", s.handleRelation)
-	mux.HandleFunc("POST /v1/query", s.handleQuery)
-	mux.HandleFunc("POST /v1/update", s.handleUpdate)
+	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("GET /v1/relation", s.instrument("relation", s.handleRelation))
+	mux.HandleFunc("POST /v1/query", s.instrument("query", s.handleQuery))
+	mux.HandleFunc("POST /v1/update", s.instrument("update", s.handleUpdate))
+	mux.HandleFunc("GET /v1/metrics", s.instrument("metrics", s.handleMetrics))
 	return mux
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
-}
-
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -174,13 +235,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	for name, r := range snap.Rels {
 		sizes[name] = r.Len()
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"semantics":  snap.Sem.String(),
-		"class":      s.class,
-		"generation": snap.Gen,
-		"universe":   snap.Universe.Size(),
-		"relations":  sizes,
-		"uptime_sec": time.Since(s.start).Seconds(),
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Semantics:  snap.Sem.String(),
+		Class:      s.class,
+		Generation: snap.Gen,
+		Universe:   snap.Universe.Size(),
+		Relations:  sizes,
+		UptimeSec:  time.Since(s.start).Seconds(),
 	})
 }
 
@@ -198,30 +259,22 @@ func (s *Server) handleRelation(w http.ResponseWriter, r *http.Request) {
 	pred := r.URL.Query().Get("pred")
 	rel := snap.Relation(pred)
 	if rel == nil {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown relation %q", pred))
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("unknown relation %q", pred))
 		return
 	}
 	tuples := make([][]string, 0, rel.Len())
 	for _, t := range rel.Tuples() {
 		tuples = append(tuples, names(snap.Universe, t))
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"pred": pred, "arity": rel.Arity(), "generation": snap.Gen, "tuples": tuples,
+	writeJSON(w, http.StatusOK, RelationResponse{
+		Pred: pred, Arity: rel.Arity(), Generation: snap.Gen, Tuples: tuples,
 	})
 }
 
-// queryReq is a pattern match: nil args are wildcards.  Magic selects
-// the demand-driven path explicitly; nil defers to the server default.
-type queryReq struct {
-	Pred  string    `json:"pred"`
-	Args  []*string `json:"args"`
-	Magic *bool     `json:"magic,omitempty"`
-}
-
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var q queryReq
+	var q QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
 	wantMagic := s.magicDft.Load()
@@ -230,8 +283,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if wantMagic && s.idb[q.Pred] {
 		if !s.magicOK {
-			writeErr(w, http.StatusBadRequest,
-				fmt.Errorf("magic queries are not available under %s semantics on a %s program", s.cur.Load().Sem, s.class))
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("magic queries are not available under %s semantics on a %s program", s.cur.Load().Sem, s.class))
 			return
 		}
 		s.handleMagicQuery(w, q)
@@ -240,11 +293,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	snap := s.cur.Load()
 	rel := snap.Relation(q.Pred)
 	if rel == nil {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown relation %q", q.Pred))
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("unknown relation %q", q.Pred))
 		return
 	}
 	if len(q.Args) != rel.Arity() {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("%s has arity %d, got %d args", q.Pred, rel.Arity(), len(q.Args)))
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("%s has arity %d, got %d args", q.Pred, rel.Arity(), len(q.Args)))
 		return
 	}
 	var cols, vals []int
@@ -282,9 +336,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"pred": q.Pred, "generation": snap.Gen, "count": len(tuples), "tuples": tuples,
-		"source": "materialized",
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Pred: q.Pred, Generation: snap.Gen, Count: len(tuples), Tuples: tuples,
+		Source: "materialized",
 	})
 }
 
@@ -294,9 +348,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // sealed — only the universe is copied), and evaluates the rewritten
 // program.  Concurrent magic queries and maintainer updates never
 // block each other: everything read is an immutable snapshot.
-func (s *Server) handleMagicQuery(w http.ResponseWriter, q queryReq) {
+func (s *Server) handleMagicQuery(w http.ResponseWriter, q QueryRequest) {
 	if len(q.Args) != s.arity[q.Pred] {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("%s has arity %d, got %d args", q.Pred, s.arity[q.Pred], len(q.Args)))
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("%s has arity %d, got %d args", q.Pred, s.arity[q.Pred], len(q.Args)))
 		return
 	}
 	mq := magic.Query{Pred: q.Pred}
@@ -309,7 +364,7 @@ func (s *Server) handleMagicQuery(w http.ResponseWriter, q queryReq) {
 	}
 	rw, err := s.rewriteFor(mq.Pred, mq.Pattern())
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeError(w, http.StatusUnprocessableEntity, CodeUnprocessable, err.Error())
 		return
 	}
 
@@ -320,47 +375,45 @@ func (s *Server) handleMagicQuery(w http.ResponseWriter, q queryReq) {
 			work.Set(pred, r)
 		}
 	}
-	res, err := semantics.QueryRewritten(rw, work, mq, s.magicStrat, semantics.SemiNaive)
+	res, err := semantics.QueryRewrittenOpts(rw, work, mq, s.magicStrat, semantics.SemiNaive, s.cfg.Engine)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeError(w, http.StatusUnprocessableEntity, CodeUnprocessable, err.Error())
 		return
 	}
 	tuples := make([][]string, 0, res.Tuples.Len())
 	for _, t := range res.Tuples.Tuples() {
 		tuples = append(tuples, names(res.Universe, t))
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"pred":       q.Pred,
-		"generation": snap.Gen,
-		"count":      len(tuples),
-		"tuples":     tuples,
-		"source":     "magic",
-		"adornment":  mq.Adornment(),
-		"fallback":   rw.Report.Fallback,
-		"derived":    res.Stats.Tuples,
-		"rounds":     res.Stats.Rounds,
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Pred:       q.Pred,
+		Generation: snap.Gen,
+		Count:      len(tuples),
+		Tuples:     tuples,
+		Source:     "magic",
+		Adornment:  mq.Adornment(),
+		Fallback:   rw.Report.Fallback,
+		Derived:    res.Stats.Tuples,
+		Rounds:     res.Stats.Rounds,
 	})
-}
-
-// updateReq carries fact inserts and deletes.
-type updateReq struct {
-	Insert []incr.Fact `json:"insert"`
-	Delete []incr.Fact `json:"delete"`
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
-	var u updateReq
+	var u UpdateRequest
 	if err := json.NewDecoder(r.Body).Decode(&u); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
-	stats, snap, err := s.Update(u.Insert, u.Delete)
-	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+	stats, gen, coalesced, err := s.EnqueueUpdate(u.Insert, u.Delete)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, CodeOverloaded, "update queue full; retry")
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, "server shutting down")
+		return
+	case err != nil:
+		writeError(w, http.StatusUnprocessableEntity, CodeUnprocessable, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"generation": snap.Gen,
-		"stats":      stats,
-	})
+	writeJSON(w, http.StatusOK, UpdateResponse{Generation: gen, Coalesced: coalesced, Stats: stats})
 }

@@ -22,12 +22,88 @@ package repro
 import (
 	"repro/internal/ast"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/incr"
 	"repro/internal/magic"
 	"repro/internal/parser"
 	"repro/internal/relation"
 	"repro/internal/semantics"
 )
+
+// Toggle is a tri-state option value: leave a feature at its default,
+// or force it on or off for one call.  The zero value is the default.
+type Toggle = engine.Toggle
+
+// Toggle values for Options fields.
+const (
+	// Default follows the engine's default for the feature.
+	Default Toggle = engine.ToggleDefault
+	// On forces the feature on for this call.
+	On Toggle = engine.On
+	// Off forces the feature off for this call.
+	Off Toggle = engine.Off
+)
+
+// Options configures one evaluation, query, maintainer, or server
+// call.  The zero value keeps every engine default, so
+// Options{} behaves exactly like the plain entry points.  Options
+// replace the process-wide engine.SetDefault* knob pairs: instead of
+// mutating global state around a call, the knobs travel with the call.
+type Options struct {
+	// Workers is the Θ evaluation worker-pool size (0 = the process
+	// default, normally GOMAXPROCS).
+	Workers int
+	// Planner toggles cost-based join planning (Off = syntactic
+	// literal order, the ablation baseline).
+	Planner Toggle
+	// Frontier toggles fused dedup-at-emit derivation (Off = the
+	// derive+Diff oracle pipeline).
+	Frontier Toggle
+	// Sharding toggles intra-rule data-parallel sharding.
+	Sharding Toggle
+	// Magic toggles demand-driven evaluation for QueryWith: On/Default
+	// answers via magic-set rewriting, Off materializes the full
+	// fixpoint and filters (the differential oracle).
+	Magic Toggle
+}
+
+// engineOpts converts the engine-facing subset of the options.
+func (o Options) engineOpts() engine.Options {
+	return engine.Options{
+		Workers:  o.Workers,
+		Planner:  o.Planner,
+		Frontier: o.Frontier,
+		Sharding: o.Sharding,
+	}
+}
+
+// EvalWith evaluates prog on db under sem with per-call options — the
+// options-API entry point behind Inflationary, LeastFixpoint,
+// Stratified, and WellFounded.
+func EvalWith(prog *Program, db *Database, sem Semantics, opt Options) (*Result, error) {
+	return core.EvalOpts(prog, db, sem, semantics.SemiNaive, opt.engineOpts())
+}
+
+// MaintainWith is Maintain with per-call options applied to the
+// initial evaluation and every maintenance pass.
+func MaintainWith(prog *Program, db *Database, sem Semantics, opt Options) (*Maintainer, error) {
+	return incr.NewWith(prog, db, sem, opt.engineOpts())
+}
+
+// QueryWith is Query with per-call options.  Options.Magic selects the
+// evaluation strategy: On or Default answer demand-driven (magic-set
+// rewriting), Off materializes the full fixpoint and filters — the
+// oracle the demand-driven path is differential-tested against.
+func QueryWith(prog *Program, db *Database, query string, sem Semantics, opt Options) (*QueryResult, error) {
+	q, err := magic.ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Magic == Off {
+		return core.QueryFullOpts(prog, db, q, sem, semantics.SemiNaive, opt.engineOpts())
+	}
+	return core.QueryOpts(prog, db, q, sem, semantics.SemiNaive, opt.engineOpts())
+}
 
 // Program is a DATALOG¬ program.
 type Program = ast.Program

@@ -80,6 +80,68 @@ s(X,Y) :- s(X,Z), e(Z,Y).
 	}
 }
 
+// TestFacadeOptions holds the options API to the plain entry points:
+// every ablation knob forced through Options, all four semantics, same
+// results.
+func TestFacadeOptions(t *testing.T) {
+	prog, err := repro.ParseProgram(`
+s(X,Y) :- e(X,Y).
+s(X,Y) :- e(X,Z), s(Z,Y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := repro.ParseFacts("e(a,b). e(b,c). e(c,d).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := map[string]repro.Options{
+		"zero":     {},
+		"baseline": {Workers: 1, Planner: repro.Off, Frontier: repro.Off, Sharding: repro.Off},
+		"forced":   {Workers: 2, Planner: repro.On, Frontier: repro.On, Sharding: repro.On},
+	}
+	for _, sem := range []repro.Semantics{
+		repro.SemanticsInflationary, repro.SemanticsLFP,
+		repro.SemanticsStratified, repro.SemanticsWellFounded,
+	} {
+		for name, opt := range configs {
+			res, err := repro.EvalWith(prog, db, sem, opt)
+			if err != nil {
+				t.Fatalf("%v/%s: %v", sem, name, err)
+			}
+			if res.State["s"].Len() != 6 {
+				t.Errorf("%v/%s: |s| = %d, want 6", sem, name, res.State["s"].Len())
+			}
+		}
+	}
+
+	// QueryWith: Magic Off is the materialize+filter oracle; both
+	// strategies answer identically under forced knobs.
+	for _, magic := range []repro.Toggle{repro.Default, repro.On, repro.Off} {
+		opt := configs["baseline"]
+		opt.Magic = magic
+		res, err := repro.QueryWith(prog, db, "s(a, ?)", repro.SemanticsLFP, opt)
+		if err != nil {
+			t.Fatalf("magic=%v: %v", magic, err)
+		}
+		if res.Tuples.Len() != 3 {
+			t.Errorf("magic=%v: |s(a,?)| = %d, want 3", magic, res.Tuples.Len())
+		}
+	}
+
+	// MaintainWith: the options ride along into every maintenance pass.
+	m, err := repro.MaintainWith(prog, db, repro.SemanticsLFP, configs["baseline"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Update([]repro.Fact{{Pred: "e", Args: []string{"d", "a"}}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Snapshot().Relation("s").Len(); got != 16 { // cycle closed: full 4x4 TC
+		t.Errorf("|s| after closing the cycle = %d, want 16", got)
+	}
+}
+
 func ExampleInflationary() {
 	prog, _ := repro.ParseProgram("t(X) :- e(Y,X), !t(Y).")
 	db, _ := repro.ParseFacts("e(a,b). e(b,c).")
