@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine ./internal/relation ./internal/semantics ./internal/incr ./internal/server
+	$(GO) test -race ./internal/engine ./internal/relation ./internal/semantics ./internal/partition ./internal/incr ./internal/server
 
 vet:
 	$(GO) vet ./...
@@ -38,14 +38,14 @@ bench-smoke:
 
 # Machine-readable results for the perf trajectory: the headline series
 # (E8 fixpoint, E10 distance, E13 planner, E14 incremental updates, E15
-# frontier scaling, E16 magic point queries) rendered to
-# BENCH_PR5.json — committed to the repo (and uploaded by CI) so the
-# trajectory survives across PRs.  Fixed -benchtime/-count: medians
-# over 5 runs of ≥100ms, not 1-iteration smoke samples.
+# frontier scaling, E16 magic point queries, E17 partition scaling)
+# rendered to BENCH_PR7.json — committed to the repo (and uploaded by
+# CI) so the trajectory survives across PRs.  Fixed -benchtime/-count:
+# medians over 5 runs of ≥100ms, not 1-iteration smoke samples.
 bench-json:
-	$(GO) test -run '^$$' -bench 'E8Inflationary|E10Distance|E13JoinPlanner|E14IncrementalUpdate|E15FrontierScaling|E16MagicQuery' \
+	$(GO) test -run '^$$' -bench 'E8Inflationary|E10Distance|E13JoinPlanner|E14IncrementalUpdate|E15FrontierScaling|E16MagicQuery|E17PartitionScaling' \
 		-benchtime 100ms -count 5 . | tee bench-json.txt
-	$(GO) run ./scripts/benchjson bench-json.txt > BENCH_PR5.json
+	$(GO) run ./scripts/benchjson bench-json.txt > BENCH_PR7.json
 
 # Production-serving benchmark: generate a TC workload, start the
 # daemon, drive it with cmd/loadgen (mixed read/query/update traffic
@@ -66,34 +66,41 @@ bench-serve:
 	$(GO) test -run '^$$' -bench ServeUpdate16 -benchtime 2s ./internal/server | tee -a bench-serve.txt
 	$(GO) run ./scripts/benchjson bench-serve.txt > BENCH_SERVE.json
 
-# CPU + allocation profiles of the hot evaluation path (the E8/E10
-# series), written to profiles/, with a top-20 summary printed for each
-# — so future perf PRs start from data, not guesses.
+# CPU + allocation + contention profiles of the hot evaluation path
+# (the E8/E10 series plus the partitioned E17 sweep, whose exchange
+# rounds are what the mutex/block profiles exist to watch), written to
+# profiles/, with a top summary printed for each — so future perf PRs
+# start from data, not guesses.
 # Inspect interactively with: go tool pprof profiles/repro.test profiles/cpu.pprof
 profile:
 	mkdir -p profiles
-	$(GO) test -run '^$$' -bench 'E8Inflationary|E10Distance' -benchtime 500ms \
+	$(GO) test -run '^$$' -bench 'E8Inflationary|E10Distance|E17PartitionScaling' -benchtime 500ms \
 		-cpuprofile profiles/cpu.pprof -memprofile profiles/mem.pprof \
+		-mutexprofile profiles/mutex.pprof -blockprofile profiles/block.pprof \
 		-o profiles/repro.test .
 	$(GO) tool pprof -top -nodecount 20 profiles/repro.test profiles/cpu.pprof
 	$(GO) tool pprof -top -nodecount 20 -sample_index=alloc_space profiles/repro.test profiles/mem.pprof
+	$(GO) tool pprof -top -nodecount 10 profiles/repro.test profiles/mutex.pprof
+	$(GO) tool pprof -top -nodecount 10 profiles/repro.test profiles/block.pprof
 
 # Static analysis beyond go vet; pinned so local runs and CI agree.
 STATICCHECK_VERSION ?= 2025.1.1
 staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
-# Local mirror of the CI benchstat gate: compare the E8/E10/E15/E16
-# series on BASE (default HEAD~1) against the working tree, failing on
-# >15% median regressions.  E16 puts point-query latency under the same
-# gate as whole-fixpoint evaluation.  Series missing on BASE (e.g. a
-# newly added benchmark) are skipped by benchdiff.
+# Local mirror of the CI benchstat gate: compare the
+# E8/E10/E15/E16/E17 series on BASE (default HEAD~1) against the
+# working tree, failing on >15% median regressions.  E16 puts
+# point-query latency under the same gate as whole-fixpoint evaluation;
+# E17/K=1 guards the unpartitioned path against exchange-machinery
+# overhead.  Series missing on BASE (e.g. a newly added benchmark) are
+# skipped by benchdiff.
 BASE ?= HEAD~1
 bench-compare:
 	rm -rf /tmp/bench-base && git worktree prune
 	git worktree add /tmp/bench-base $(BASE)
-	cd /tmp/bench-base && $(GO) test -run '^$$' -bench 'E8Inflationary|E10Distance|E15FrontierScaling|E16MagicQuery' -benchtime 100ms -count 7 . > /tmp/bench-base.txt
-	$(GO) test -run '^$$' -bench 'E8Inflationary|E10Distance|E15FrontierScaling|E16MagicQuery' -benchtime 100ms -count 7 . > /tmp/bench-head.txt
+	cd /tmp/bench-base && $(GO) test -run '^$$' -bench 'E8Inflationary|E10Distance|E15FrontierScaling|E16MagicQuery|E17PartitionScaling' -benchtime 100ms -count 7 . > /tmp/bench-base.txt
+	$(GO) test -run '^$$' -bench 'E8Inflationary|E10Distance|E15FrontierScaling|E16MagicQuery|E17PartitionScaling' -benchtime 100ms -count 7 . > /tmp/bench-head.txt
 	$(GO) run ./scripts/benchdiff -threshold 15 /tmp/bench-base.txt /tmp/bench-head.txt
 	git worktree remove --force /tmp/bench-base
 

@@ -26,20 +26,22 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "run a single experiment (E1..E15)")
-		quick    = flag.Bool("quick", false, "shorten parameter sweeps")
-		list     = flag.Bool("list", false, "list experiments")
-		workers  = flag.Int("workers", 0, "Θ evaluation worker-pool size (0 = GOMAXPROCS)")
-		planner  = flag.Bool("planner", true, "cost-based join planning (false = syntactic literal order)")
-		explain  = flag.Bool("explain", false, "print per-rule evaluation plans for the join-heavy workloads and exit")
-		frontier = flag.Bool("frontier", true, "fused dedup-at-emit derivation (false = derive+Diff baseline)")
-		shard    = flag.Bool("shard", true, "intra-rule data-parallel sharding when rules < workers")
+		exp        = flag.String("exp", "", "run a single experiment (E1..E17)")
+		quick      = flag.Bool("quick", false, "shorten parameter sweeps")
+		list       = flag.Bool("list", false, "list experiments")
+		workers    = flag.Int("workers", 0, "Θ evaluation worker-pool size (0 = GOMAXPROCS)")
+		planner    = flag.Bool("planner", true, "cost-based join planning (false = syntactic literal order)")
+		explain    = flag.Bool("explain", false, "print per-rule evaluation plans for the join-heavy workloads and exit")
+		frontier   = flag.Bool("frontier", true, "fused dedup-at-emit derivation (false = derive+Diff baseline)")
+		shard      = flag.Bool("shard", true, "intra-rule data-parallel sharding when rules < workers")
+		partitions = flag.Int("partitions", 1, "K-way hash-partitioned evaluation with delta exchange (1 = unpartitioned)")
 	)
 	flag.Parse()
 	engine.SetDefaultWorkers(*workers)
 	engine.SetDefaultCostPlanner(*planner)
 	engine.SetDefaultFrontier(*frontier)
 	engine.SetDefaultSharding(*shard)
+	engine.SetDefaultPartitions(*partitions)
 
 	if *explain {
 		// Steady-state plans: evaluate first, then plan against the

@@ -48,12 +48,14 @@ func main() {
 		explain     = flag.Bool("explain", false, "print per-rule evaluation plans at the computed fixpoint")
 		query       = flag.String("query", "", "answer one query atom, e.g. 's(a, ?)' ('?' marks free positions)")
 		magicOn     = flag.Bool("magic", true, "with -query: demand-driven magic-set evaluation (false = full materialization + filter)")
+		partitions  = flag.Int("partitions", 1, "K-way hash-partitioned evaluation with delta exchange (1 = unpartitioned)")
 	)
 	flag.Parse()
 	engine.SetDefaultWorkers(*workers)
 	engine.SetDefaultCostPlanner(*planner)
 	engine.SetDefaultFrontier(*frontier)
 	engine.SetDefaultSharding(*shard)
+	engine.SetDefaultPartitions(*partitions)
 	if *programPath == "" || *factsPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: datalog -program FILE -facts FILE [-semantics NAME]")
 		flag.PrintDefaults()

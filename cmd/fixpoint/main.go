@@ -32,12 +32,14 @@ func main() {
 		planner     = flag.Bool("planner", true, "cost-based join planning (false = syntactic literal order)")
 		frontier    = flag.Bool("frontier", true, "fused dedup-at-emit derivation (false = derive+Diff baseline)")
 		shard       = flag.Bool("shard", true, "intra-rule data-parallel sharding when rules < workers")
+		partitions  = flag.Int("partitions", 1, "K-way hash-partitioned evaluation with delta exchange (1 = unpartitioned)")
 	)
 	flag.Parse()
 	engine.SetDefaultWorkers(*workers)
 	engine.SetDefaultCostPlanner(*planner)
 	engine.SetDefaultFrontier(*frontier)
 	engine.SetDefaultSharding(*shard)
+	engine.SetDefaultPartitions(*partitions)
 	if *programPath == "" || *factsPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: fixpoint -program FILE -facts FILE [-count N] [-least] [-enumerate N]")
 		flag.PrintDefaults()

@@ -34,6 +34,15 @@ type evalCtx struct {
 	usize   int
 	headBuf relation.Tuple
 	negBuf  relation.Tuple
+	// filter, when non-nil, is a Bloom summary of cur fronting the exact
+	// frontier probe on partitioned passes: a "definitely absent" answer
+	// skips the cur map probe entirely (the tuple is surely new), a
+	// "maybe present" answer falls through to the exact AddNotIn.
+	// fprobes/fskips count the filter consultations and the probes it
+	// saved, accumulated into the workerOut after the rule completes.
+	filter  *relation.Filter
+	fprobes int64
+	fskips  int64
 }
 
 // evalTask is one unit of parallel work: a rule plan plus optional
@@ -125,6 +134,18 @@ type runOpts struct {
 	// tasks are split into arena-range shards of their driver relation so
 	// every worker gets work even on programs with few rules.
 	shard bool
+	// nparts, when > 1, switches every predicate's per-worker output to
+	// nparts owner buckets partitioned by TupleHash — the exchange unit
+	// of partitioned evaluation (runTasksParts).  Unlike the hint-driven
+	// partitioning above, it applies unconditionally.
+	nparts int
+	// workers caps the worker pool for this pass; 0 follows
+	// in.Workers().  Partitioned passes split the instance pool across
+	// the concurrently-evaluating partitions.
+	workers int
+	// filters, when non-nil, front the frontier probe per predicate with
+	// a Bloom summary of the accumulated state (see evalCtx.filter).
+	filters map[string]*relation.Filter
 }
 
 // workerOut is one worker's private derivation output.  Most predicates
@@ -137,6 +158,13 @@ type workerOut struct {
 	out     State
 	parts   map[string][]*relation.Relation
 	against State // frontier filter, nil when the pass keeps everything
+	// filters and the probe counters serve partitioned exchange passes:
+	// per-predicate Bloom prefilters over the accumulated state, and the
+	// per-worker tallies of how often they were consulted / saved the
+	// exact probe.
+	filters map[string]*relation.Filter
+	fprobes int64
+	fskips  int64
 }
 
 // partitionThreshold is the expected per-predicate cardinality above
@@ -149,7 +177,24 @@ const partitionThreshold = 1024
 // nbuckets ≤ 1 disables partitioning (the sequential path and legacy
 // union merges).
 func (in *Instance) newWorkerOut(opts runOpts, nbuckets int) *workerOut {
-	wo := &workerOut{out: in.NewState(), against: opts.frontier}
+	wo := &workerOut{out: in.NewState(), against: opts.frontier, filters: opts.filters}
+	if opts.nparts > 0 {
+		// Partition-exchange pass: every predicate derives into nparts
+		// owner buckets, regardless of expected cardinality — the bucket
+		// boundary is the exchange unit, not a merge optimization.
+		wo.parts = make(map[string][]*relation.Relation, len(wo.out))
+		for pred, r := range wo.out {
+			parts := make([]*relation.Relation, opts.nparts)
+			for b := range parts {
+				parts[b] = relation.New(r.Arity())
+				if n := opts.hints[pred]; n > 0 {
+					parts[b].ReserveHint(n / opts.nparts)
+				}
+			}
+			wo.parts[pred] = parts
+		}
+		return wo
+	}
 	for pred, n := range opts.hints {
 		if r := wo.out[pred]; r != nil {
 			if nbuckets > 1 && n >= partitionThreshold {
@@ -381,6 +426,9 @@ func (in *Instance) evalRule(task evalTask, posState, negState State, wo *worker
 	if wo.against != nil {
 		ctx.cur = wo.against[rp.headPred]
 	}
+	if wo.filters != nil {
+		ctx.filter = wo.filters[rp.headPred]
+	}
 	if cnt != nil {
 		ms := cnt[rp.headPred]
 		if ms == nil {
@@ -422,6 +470,8 @@ func (in *Instance) evalRule(task evalTask, posState, negState State, wo *worker
 		binding[i] = -1
 	}
 	in.run(rp, ctx, ep, 0, binding)
+	wo.fprobes += ctx.fprobes
+	wo.fskips += ctx.fskips
 }
 
 // slotValue resolves a slot under the current binding; -1 means the
@@ -450,7 +500,23 @@ func (in *Instance) run(rp *rulePlan, ctx *evalCtx, ep *execPlan, si int, bindin
 		case ctx.cnt != nil:
 			ctx.cnt.Bump(t, 1)
 		case ctx.parts != nil:
-			ctx.parts[relation.TupleHash(t)%uint64(len(ctx.parts))].AddNotIn(t, ctx.cur)
+			h := relation.TupleHash(t)
+			b := ctx.parts[h%uint64(len(ctx.parts))]
+			if ctx.filter != nil {
+				// The Bloom prefilter reuses the routing hash.  "Definitely
+				// absent" proves the tuple is not in the accumulated state, so
+				// only the bucket's own dedup is needed; "maybe present" takes
+				// the exact probe, which drops duplicates exactly.
+				ctx.fprobes++
+				if !ctx.filter.MayContainHash(h) {
+					ctx.fskips++
+					b.Add(t)
+				} else {
+					b.AddNotIn(t, ctx.cur)
+				}
+			} else {
+				b.AddNotIn(t, ctx.cur)
+			}
 		default:
 			ctx.out.AddNotIn(t, ctx.cur)
 		}

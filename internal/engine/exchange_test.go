@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/relation"
+)
+
+// concatBuckets reassembles owner buckets into one state, checking on
+// the way that every tuple landed in the bucket its hash owns.
+func concatBuckets(t *testing.T, in *Instance, parts []State) State {
+	t.Helper()
+	k := uint64(len(parts))
+	whole := in.NewState()
+	for b, st := range parts {
+		for pred, r := range st {
+			r.Each(func(tp relation.Tuple) bool {
+				if own := int(relation.TupleHash(tp) % k); own != b {
+					t.Fatalf("%s tuple %v in bucket %d, owned by %d", pred, tp, b, own)
+				}
+				return true
+			})
+			whole[pred].UnionWith(r)
+		}
+	}
+	return whole
+}
+
+// TestPropPartsMatchUnpartitioned: over randomized programs, worker
+// counts, frontier settings, and filter settings, the owner buckets of
+// ApplyDeltaSplitFrontierParts concatenate to exactly what the
+// unpartitioned ApplyDeltaSplitFrontier returns on the same inputs —
+// the engine-level half of the partitioned bit-exactness contract.
+func TestPropPartsMatchUnpartitioned(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomProgram(rng)
+		prog, err := parser.Program(src)
+		if err != nil {
+			t.Fatalf("seed %d: generated unparsable program:\n%s\n%v", seed, src, err)
+		}
+		db := randomEdgeDB(rng, 4, 0.4)
+		for i := 0; i < 4; i++ {
+			if rng.Intn(2) == 0 {
+				db.AddFact("V", fmt.Sprint(i))
+			}
+		}
+
+		oracle := MustNew(prog, db.Clone())
+		oracle.SetFrontier(true)
+		oracle.SetWorkers(1)
+		s0 := oracle.NewState()
+		s1 := oracle.Apply(s0)
+		s2 := s1.Clone()
+		s2.UnionWith(oracle.Apply(s1))
+		delta := s2.Diff(s1)
+		want := oracle.ApplyDeltaSplitFrontier(s1, delta, s2, s2)
+
+		for _, k := range []int{1, 3, 5} {
+			for _, nw := range workerSweep() {
+				for _, frontier := range []bool{true, false} {
+					in := MustNew(prog, db.Clone())
+					in.SetFrontier(frontier)
+					in.SetWorkers(nw)
+					po := PartsOpts{NParts: k, Workers: nw}
+					if frontier && rng.Intn(2) == 0 {
+						po.Filters = make(map[string]*relation.Filter, len(s2))
+						for pred, r := range s2 {
+							po.Filters[pred] = relation.FilterOf(r, r.Len()+64)
+						}
+					}
+					parts, st := in.ApplyDeltaSplitFrontierParts(s1, delta, s2, s2, po)
+					if len(parts) != k {
+						t.Fatalf("seed %d: got %d buckets, want %d", seed, len(parts), k)
+					}
+					if got := concatBuckets(t, in, parts); !got.Equal(want) {
+						t.Fatalf("seed %d K=%d workers %d frontier %v: buckets differ from unpartitioned round\nprogram:\n%s",
+							seed, k, nw, frontier, src)
+					}
+					if po.Filters != nil && st.Skips > st.Probes {
+						t.Fatalf("seed %d: filter skips %d exceed probes %d", seed, st.Skips, st.Probes)
+					}
+					if po.Filters == nil && st.Probes != 0 {
+						t.Fatalf("seed %d: unfiltered pass reported %d probes", seed, st.Probes)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestApplyDeltasFrontierParts checks the maintenance-round entry point
+// against its unpartitioned counterpart on a semi-naive TC step.
+func TestApplyDeltasFrontierParts(t *testing.T) {
+	prog := parser.MustProgram("s(X,Y) :- E(X,Y).\ns(X,Y) :- E(X,Z), s(Z,Y).")
+	db := randomEdgeDB(rand.New(rand.NewSource(7)), 6, 0.4)
+	in := MustNew(prog, db)
+	cur := in.Apply(in.NewState())
+	deltas := map[string]Delta{"s": {PosDriver: cur["s"]}}
+	want := in.ApplyDeltasFrontier(cur, cur, deltas, cur)
+	for _, k := range []int{1, 4} {
+		parts, _ := in.ApplyDeltasFrontierParts(cur, cur, deltas, cur, PartsOpts{NParts: k})
+		if got := concatBuckets(t, in, parts); !got.Equal(want) {
+			t.Fatalf("K=%d: partitioned maintenance round differs", k)
+		}
+	}
+}
+
+// TestPartitionKnobs pins the resolution order of the partition-count
+// and exchange-filter knobs: per-instance value, then process default,
+// then the built-in (K=1, filter on).
+func TestPartitionKnobs(t *testing.T) {
+	prog := parser.MustProgram("p(X) :- E(X,X).")
+	in := MustNew(prog, randomEdgeDB(rand.New(rand.NewSource(1)), 3, 0.5))
+	if k := in.Partitions(); k != 1 {
+		t.Fatalf("built-in partition default: got %d, want 1", k)
+	}
+	SetDefaultPartitions(3)
+	defer SetDefaultPartitions(1)
+	if k := in.Partitions(); k != 3 {
+		t.Fatalf("process default: got %d, want 3", k)
+	}
+	in.SetPartitions(5)
+	if k := in.Partitions(); k != 5 {
+		t.Fatalf("per-instance value: got %d, want 5", k)
+	}
+	in.SetPartitions(-2) // negative restores the default chain
+	if k := in.Partitions(); k != 3 {
+		t.Fatalf("reset to default chain: got %d, want 3", k)
+	}
+	SetDefaultPartitions(0) // clamps to 1
+	if k := in.Partitions(); k != 1 {
+		t.Fatalf("cleared default: got %d, want 1", k)
+	}
+
+	if !in.ExchangeFilter() {
+		t.Fatal("exchange filter must default on")
+	}
+	SetDefaultExchangeFilter(false)
+	defer SetDefaultExchangeFilter(true)
+	if in.ExchangeFilter() {
+		t.Fatal("process default off must win over the built-in")
+	}
+	in.SetExchangeFilter(true)
+	if !in.ExchangeFilter() {
+		t.Fatal("per-instance on must win over the process default")
+	}
+	in.SetExchangeFilter(false)
+	if in.ExchangeFilter() {
+		t.Fatal("per-instance off must stick")
+	}
+}

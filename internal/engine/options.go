@@ -70,6 +70,15 @@ type Options struct {
 	// Sharding allows intra-rule data-parallel sharding when a round
 	// has fewer rule tasks than workers.
 	Sharding Toggle
+	// Partitions is the number of hash-partitioned evaluator instances
+	// the semi-naive fixpoint loops split into (see internal/partition);
+	// 0 follows the process default (SetDefaultPartitions, else 1 — a
+	// single unpartitioned instance).
+	Partitions int
+	// ExchangeFilter selects the Bloom prefilter on the partition
+	// exchange path (Off = every emission takes the exact
+	// accumulated-state probe, the ablation baseline).
+	ExchangeFilter Toggle
 }
 
 // apply configures in with the non-default options.
@@ -85,6 +94,12 @@ func (o Options) apply(in *Instance) {
 	}
 	if o.Sharding != ToggleDefault {
 		in.sharding = o.Sharding
+	}
+	if o.Partitions > 0 {
+		in.SetPartitions(o.Partitions)
+	}
+	if o.ExchangeFilter != ToggleDefault {
+		in.exchFilter = o.ExchangeFilter
 	}
 }
 

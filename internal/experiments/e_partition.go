@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graphs"
+	"repro/internal/parser"
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/semantics"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "E17",
+		Title:  "partitioned evaluation: K-way delta exchange vs the unpartitioned engine",
+		Source: "engineering (ROADMAP: partitioned evaluation with delta exchange)",
+		Run:    runE17,
+	})
+}
+
+// E17Partitions is the partition-count sweep shared by experiment E17
+// and BenchmarkE17PartitionScaling.
+func E17Partitions() []int { return []int{1, 2, 4, 8} }
+
+// runE17 evaluates the 2-rule transitive closure and the Proposition 2
+// distance program under inflationary semantics with K-way
+// hash-partitioned fixpoint rounds, K ∈ {1, 2, 4, 8}.  The claim under
+// test is bit-exactness: identical relations AND identical round/delta
+// statistics at every K, because the exchange rounds accept exactly the
+// tuples the unpartitioned rounds would derive.  The exchanged and
+// filter columns report the cross-partition tuple traffic and how much
+// of it the Bloom prefilter resolved without an exact membership probe;
+// the speedup column is hardware-dependent (K > 1 only pays off with
+// cores to spare — on a single-core runner it measures exchange
+// overhead, not scaling).
+func runE17(w io.Writer, quick bool) error {
+	tcN, tcP, distN, distP := 64, 0.06, 14, 0.25
+	if quick {
+		tcN, tcP, distN, distP = 40, 0.08, 10, 0.25
+	}
+	cases := []struct {
+		name string
+		src  string
+		db   func() *relation.Database
+	}{
+		{fmt.Sprintf("tc/G(%d,%.2f)", tcN, tcP), tcSrc,
+			func() *relation.Database { return graphs.Random(newRNG(int64(tcN)), tcN, tcP).Database() }},
+		{fmt.Sprintf("distance/G(%d,%.2f)", distN, distP), distanceSrc,
+			func() *relation.Database { return graphs.Random(newRNG(int64(distN)), distN, distP).Database() }},
+	}
+
+	t := newTable(w, "workload", "K", "tuples", "rounds", "exchanged", "filter-skip", "t(K=1)", "t(K)", "speedup", "check")
+	c := &checker{}
+	for _, cs := range cases {
+		prog := parser.MustProgram(cs.src)
+		db := cs.db()
+
+		ref := engine.MustNew(prog, db.Clone())
+		ref.SetPartitions(1)
+		startRef := time.Now()
+		want := semantics.Inflationary(ref)
+		durRef := time.Since(startRef)
+
+		for _, k := range E17Partitions() {
+			in := engine.MustNew(prog, db.Clone())
+			in.SetPartitions(k)
+			before := partition.Snapshot()
+			start := time.Now()
+			got := semantics.Inflationary(in)
+			dur := time.Since(start)
+			after := partition.Snapshot()
+
+			exchanged := after.ExchangedTuples - before.ExchangedTuples
+			probes := after.FilterProbes - before.FilterProbes
+			skips := after.FilterSkips - before.FilterSkips
+			skipRate := "-"
+			if probes > 0 {
+				skipRate = fmt.Sprintf("%.0f%%", 100*float64(skips)/float64(probes))
+			}
+			ok := got.State.Equal(want.State) && got.Stats == want.Stats
+			t.row(cs.name, k, got.Stats.Tuples, got.Stats.Rounds, exchanged, skipRate,
+				ms(durRef), ms(dur),
+				fmt.Sprintf("%.2fx", float64(durRef)/float64(dur)),
+				c.verdict(ok, fmt.Sprintf("%s/K=%d", cs.name, k)))
+		}
+	}
+	t.flush()
+	fmt.Fprintln(w, "    note: identical relations and stage statistics at every K — partitioning")
+	fmt.Fprintln(w, "    changes where each delta tuple is derived, never which.  Exchanged counts")
+	fmt.Fprintln(w, "    cross-partition tuples received per run (pre-dedup); filter-skip is the")
+	fmt.Fprintln(w, "    share of exchange-path emissions the Bloom prefilter resolved without an")
+	fmt.Fprintln(w, "    exact probe.  Speedups need spare cores; K=1 bypasses the exchange.")
+	return c.err()
+}

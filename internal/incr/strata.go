@@ -22,6 +22,7 @@ package incr
 import (
 	"repro/internal/ast"
 	"repro/internal/engine"
+	"repro/internal/partition"
 	"repro/internal/relation"
 	"repro/internal/semantics"
 )
@@ -281,7 +282,7 @@ func (s *stratum) applyDRed(m *Maintainer, ch map[string]*change) (pre, adds, de
 			if !drivers {
 				break
 			}
-			frontier = in.ApplyDeltasFrontier(oldPos, oldPos, casc, dover)
+			frontier = partition.ApplyDeltasFrontier(in, oldPos, oldPos, casc, dover)
 		}
 		for pred := range s.preds {
 			rel := m.state[pred]
@@ -321,9 +322,12 @@ func (s *stratum) applyDRed(m *Maintainer, ch map[string]*change) (pre, adds, de
 
 	// 3. Insert: derivations the update enables, propagated semi-naively
 	// through the stratum in the new world, filtered against the already
-	// materialized own-predicate state at emit time.
+	// materialized own-predicate state at emit time.  Under partitioned
+	// evaluation (in.Partitions() > 1) the propagation deltas are routed
+	// to their owning partitions and the rounds evaluate K-way, exactly
+	// like the from-scratch fixpoint loop.
 	if anyIns {
-		frontier := in.ApplyDeltasFrontier(m.state, m.state, seed, ownState(m.state, s.preds))
+		frontier := partition.ApplyDeltasFrontier(in, m.state, m.state, seed, ownState(m.state, s.preds))
 		for !frontier.Empty() {
 			for pred := range s.preds {
 				rel := m.state[pred]
@@ -335,7 +339,7 @@ func (s *stratum) applyDRed(m *Maintainer, ch map[string]*change) (pre, adds, de
 					next[pred] = engine.Delta{PosDriver: frontier[pred]}
 				}
 			}
-			frontier = in.ApplyDeltasFrontier(m.state, m.state, next, ownState(m.state, s.preds))
+			frontier = partition.ApplyDeltasFrontier(in, m.state, m.state, next, ownState(m.state, s.preds))
 		}
 	}
 

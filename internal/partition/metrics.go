@@ -1,0 +1,96 @@
+// metrics.go — partitioned-evaluation telemetry.
+//
+// Counters follow the internal/metrics conventions (atomic, hot-path
+// cheap).  The per-round exchange volume reuses the log-bucketed
+// Histogram with tuples as the unit instead of nanoseconds — the bucket
+// math is unit-agnostic.  The per-partition tuple counts of the most
+// recent run are the one mutex-guarded piece, written once per run.
+package partition
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/relation"
+)
+
+var met struct {
+	runs         metrics.Counter
+	rounds       metrics.Counter
+	exchanged    metrics.Counter // cross-partition tuples received, pre-dedup
+	accepted     metrics.Counter // tuples accepted into states by partitioned rounds
+	filterProbes metrics.Counter
+	filterSkips  metrics.Counter
+	// roundExchange observes the cross-partition tuple volume of each
+	// exchange round (unit: tuples).
+	roundExchange metrics.Histogram
+
+	mu        sync.Mutex
+	lastK     int
+	lastSizes []int64
+}
+
+// asDuration casts a tuple count into the Histogram's sample type.
+func asDuration(n int) time.Duration { return time.Duration(n) }
+
+// recordPartitionSizes tallies the final accumulated state by owner
+// hash — the per-partition tuple counts of the most recent run.
+func recordPartitionSizes(cur engine.State, k int) {
+	sizes := make([]int64, k)
+	for _, r := range cur {
+		r.Each(func(t relation.Tuple) bool {
+			sizes[relation.TupleHash(t)%uint64(k)]++
+			return true
+		})
+	}
+	met.mu.Lock()
+	met.lastK = k
+	met.lastSizes = sizes
+	met.mu.Unlock()
+}
+
+// Metrics is a point-in-time snapshot of the package counters.
+type Metrics struct {
+	// Runs and Rounds count partitioned fixpoint runs and their exchange
+	// rounds since process start.
+	Runs   int64
+	Rounds int64
+	// ExchangedTuples counts tuples received across a partition boundary
+	// (pre-dedup); AcceptedTuples counts tuples the exchange rounds
+	// accepted into accumulated states.
+	ExchangedTuples int64
+	AcceptedTuples  int64
+	// ExchangeMeanPerRound / ExchangeP90PerRound summarize the per-round
+	// cross-partition volume, in tuples.
+	ExchangeMeanPerRound float64
+	ExchangeP90PerRound  float64
+	// FilterProbes counts emit-path prefilter consultations; FilterSkips
+	// the subset that skipped the exact probe on a definitive "absent".
+	FilterProbes int64
+	FilterSkips  int64
+	// LastPartitions is the K of the most recent run (0 before any);
+	// LastPartitionTuples its final per-partition tuple counts.
+	LastPartitions      int
+	LastPartitionTuples []int64
+}
+
+// Snapshot returns the current partition telemetry.
+func Snapshot() Metrics {
+	m := Metrics{
+		Runs:                 met.runs.Load(),
+		Rounds:               met.rounds.Load(),
+		ExchangedTuples:      met.exchanged.Load(),
+		AcceptedTuples:       met.accepted.Load(),
+		ExchangeMeanPerRound: float64(met.roundExchange.Mean()),
+		ExchangeP90PerRound:  float64(met.roundExchange.Quantile(0.90)),
+		FilterProbes:         met.filterProbes.Load(),
+		FilterSkips:          met.filterSkips.Load(),
+	}
+	met.mu.Lock()
+	m.LastPartitions = met.lastK
+	m.LastPartitionTuples = append([]int64(nil), met.lastSizes...)
+	met.mu.Unlock()
+	return m
+}

@@ -1,0 +1,91 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFilterNoFalseNegatives is the filter's one hard guarantee: every
+// added tuple answers "maybe present".
+func TestFilterNoFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := New(3)
+	for i := 0; i < 5000; i++ {
+		r.Add(Tuple{rng.Intn(200), rng.Intn(200), rng.Intn(200)})
+	}
+	f := FilterOf(r, 0)
+	if f.Len() != r.Len() {
+		t.Fatalf("filter holds %d hashes, relation %d tuples", f.Len(), r.Len())
+	}
+	r.Each(func(tp Tuple) bool {
+		if !f.MayContain(tp) {
+			t.Fatalf("false negative for %v", tp)
+		}
+		return true
+	})
+}
+
+// TestFilterFalsePositiveRate checks the sizing keeps the FP rate in
+// the expected regime (well under 1% at the design load).
+func TestFilterFalsePositiveRate(t *testing.T) {
+	const n = 20000
+	f := NewFilter(n)
+	for i := 0; i < n; i++ {
+		f.AddHash(TupleHash(Tuple{i, i * 7, i * 13}))
+	}
+	fp := 0
+	const probes = 50000
+	for i := 0; i < probes; i++ {
+		// Disjoint key space from the inserted tuples.
+		if f.MayContainHash(TupleHash(Tuple{-1 - i, i, i})) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.01 {
+		t.Fatalf("false-positive rate %.4f exceeds 1%%", rate)
+	}
+}
+
+// TestFilterOverloaded checks the rebuild signal fires once the filter
+// holds more than it was sized for.
+func TestFilterOverloaded(t *testing.T) {
+	f := NewFilter(300)
+	for i := 0; i < 300; i++ {
+		f.AddHash(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	if f.Overloaded() {
+		t.Fatalf("filter overloaded at design capacity")
+	}
+	f.AddHash(12345)
+	if !f.Overloaded() {
+		t.Fatalf("filter not overloaded past design capacity")
+	}
+}
+
+// TestFilterAddTuple checks the tuple-level wrappers agree with the
+// hash-level primitives they delegate to.
+func TestFilterAddTuple(t *testing.T) {
+	f := NewFilter(16)
+	tp := Tuple{3, 1, 4}
+	if f.MayContain(tp) {
+		t.Fatalf("fresh filter claims membership")
+	}
+	f.Add(tp)
+	if !f.MayContain(tp) {
+		t.Fatalf("added tuple not found")
+	}
+	if f.Len() != 1 {
+		t.Fatalf("len %d after one Add", f.Len())
+	}
+}
+
+func TestFilterEmpty(t *testing.T) {
+	f := NewFilter(0)
+	if f.MayContainHash(42) {
+		t.Fatalf("empty filter claims membership")
+	}
+	f.AddHash(42)
+	if !f.MayContainHash(42) {
+		t.Fatalf("added hash not found")
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/engine"
+	"repro/internal/partition"
 	"repro/internal/relation"
 )
 
@@ -117,6 +118,20 @@ func lfpLoop(in *engine.Instance, negFixed engine.State, mode Mode) *Result {
 // state and no Diff.  With the instance's frontier knob off the same
 // entry points compute derive+Diff internally, the ablation baseline.
 func lfpLoopLog(in *engine.Instance, negFixed engine.State, mode Mode, log func(engine.State)) *Result {
+	// K-way partitioned evaluation replaces the whole semi-naive loop:
+	// the partition coordinator mirrors this loop's rounds, stats, and
+	// stage observations exactly, bit-exact vs the K=1 path below.  All
+	// four semantics funnel through here (stratified per stratum,
+	// well-founded per Γ application), so they all partition.
+	if mode == SemiNaive && in.Partitions() > 1 {
+		pr := partition.Fixpoint(in, negFixed, log)
+		return &Result{
+			State:    pr.State,
+			Stats:    Stats{Rounds: pr.Rounds, Tuples: pr.State.Total(), MaxDeltaTuples: pr.MaxDelta},
+			Universe: in.Universe(),
+		}
+	}
+
 	stats := Stats{}
 	prev := in.NewState()
 

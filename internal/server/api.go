@@ -120,6 +120,24 @@ type CacheMetrics struct {
 	HitRate float64 `json:"hit_rate"`
 }
 
+// PartitionMetrics reports K-way partitioned evaluation: per-partition
+// tuple counts of the most recent run, cross-partition exchange volume,
+// and the exchange-path prefilter's hit rate (skipped exact probes per
+// consultation).
+type PartitionMetrics struct {
+	Runs            int64   `json:"runs"`
+	Rounds          int64   `json:"rounds"`
+	ExchangedTuples int64   `json:"exchanged_tuples"`
+	AcceptedTuples  int64   `json:"accepted_tuples"`
+	ExchangeMean    float64 `json:"exchange_mean_per_round"`
+	ExchangeP90     float64 `json:"exchange_p90_per_round"`
+	FilterProbes    int64   `json:"filter_probes"`
+	FilterSkips     int64   `json:"filter_skips"`
+	FilterHitRate   float64 `json:"filter_hit_rate"`
+	LastPartitions  int     `json:"last_partitions,omitempty"`
+	LastTuples      []int64 `json:"last_partition_tuples,omitempty"`
+}
+
 // LatencyMetrics are microsecond latency estimates for one endpoint
 // (percentiles carry the histogram's ≤25% bucket error).
 type LatencyMetrics struct {
@@ -144,6 +162,7 @@ type MetricsResponse struct {
 	SnapshotAgeSec float64                    `json:"snapshot_age_sec"`
 	Queue          QueueMetrics               `json:"queue"`
 	RewriteCache   CacheMetrics               `json:"rewrite_cache"`
+	Partition      PartitionMetrics           `json:"partition"`
 	Endpoints      map[string]EndpointMetrics `json:"endpoints"`
 }
 
