@@ -38,14 +38,14 @@ bench-smoke:
 
 # Machine-readable results for the perf trajectory: the headline series
 # (E8 fixpoint, E10 distance, E13 planner, E14 incremental updates, E15
-# frontier scaling, E16 magic point queries, E17 partition scaling)
-# rendered to BENCH_PR7.json — committed to the repo (and uploaded by
+# frontier scaling, E16 magic point queries, E17 partition scaling, E18
+# dedup path) rendered to BENCH_PR8.json — committed to the repo (and uploaded by
 # CI) so the trajectory survives across PRs.  Fixed -benchtime/-count:
 # medians over 5 runs of ≥100ms, not 1-iteration smoke samples.
 bench-json:
-	$(GO) test -run '^$$' -bench 'E8Inflationary|E10Distance|E13JoinPlanner|E14IncrementalUpdate|E15FrontierScaling|E16MagicQuery|E17PartitionScaling' \
+	$(GO) test -run '^$$' -bench 'E8Inflationary|E10Distance|E13JoinPlanner|E14IncrementalUpdate|E15FrontierScaling|E16MagicQuery|E17PartitionScaling|E18DedupPath' \
 		-benchtime 100ms -count 5 . | tee bench-json.txt
-	$(GO) run ./scripts/benchjson bench-json.txt > BENCH_PR7.json
+	$(GO) run ./scripts/benchjson bench-json.txt > BENCH_PR8.json
 
 # Production-serving benchmark: generate a TC workload, start the
 # daemon, drive it with cmd/loadgen (mixed read/query/update traffic
@@ -89,18 +89,28 @@ staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 # Local mirror of the CI benchstat gate: compare the
-# E8/E10/E15/E16/E17 series on BASE (default HEAD~1) against the
-# working tree, failing on >15% median regressions.  E16 puts
+# E8/E10/E15/E16/E17/E18 series on BASE (default HEAD~1) against the
+# working tree, failing on >15% regressions of the per-series minimum
+# (the noise-robust estimator; see scripts/benchdiff).  E16 puts
 # point-query latency under the same gate as whole-fixpoint evaluation;
 # E17/K=1 guards the unpartitioned path against exchange-machinery
 # overhead.  Series missing on BASE (e.g. a newly added benchmark) are
-# skipped by benchdiff.
+# skipped by benchdiff.  Both sides are prebuilt and the iterations
+# interleaved A/B/A/B: running all of base then all of head lets slow
+# machine drift (thermal throttling, noisy neighbors) land entirely on
+# whichever side runs second and masquerade as a code regression.
 BASE ?= HEAD~1
+BENCH_SERIES := E8Inflationary|E10Distance|E15FrontierScaling|E16MagicQuery|E17PartitionScaling|E18DedupPath
 bench-compare:
 	rm -rf /tmp/bench-base && git worktree prune
 	git worktree add /tmp/bench-base $(BASE)
-	cd /tmp/bench-base && $(GO) test -run '^$$' -bench 'E8Inflationary|E10Distance|E15FrontierScaling|E16MagicQuery|E17PartitionScaling' -benchtime 100ms -count 7 . > /tmp/bench-base.txt
-	$(GO) test -run '^$$' -bench 'E8Inflationary|E10Distance|E15FrontierScaling|E16MagicQuery|E17PartitionScaling' -benchtime 100ms -count 7 . > /tmp/bench-head.txt
+	cd /tmp/bench-base && $(GO) test -c -o /tmp/bench-base.bin .
+	$(GO) test -c -o /tmp/bench-head.bin .
+	rm -f /tmp/bench-base.txt /tmp/bench-head.txt
+	for i in 1 2 3 4 5 6 7; do \
+		/tmp/bench-base.bin -test.run '^$$' -test.bench '$(BENCH_SERIES)' -test.benchtime 100ms >> /tmp/bench-base.txt || exit 1; \
+		/tmp/bench-head.bin -test.run '^$$' -test.bench '$(BENCH_SERIES)' -test.benchtime 100ms >> /tmp/bench-head.txt || exit 1; \
+	done
 	$(GO) run ./scripts/benchdiff -threshold 15 /tmp/bench-base.txt /tmp/bench-head.txt
 	git worktree remove --force /tmp/bench-base
 

@@ -31,6 +31,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "Θ evaluation worker-pool size (0 = GOMAXPROCS)")
 		planner     = flag.Bool("planner", true, "cost-based join planning (false = syntactic literal order)")
 		frontier    = flag.Bool("frontier", true, "fused dedup-at-emit derivation (false = derive+Diff baseline)")
+		ffilter     = flag.Bool("frontier-filter", true, "Bloom-prefiltered frontier dedup probes (false = exact probes only)")
 		shard       = flag.Bool("shard", true, "intra-rule data-parallel sharding when rules < workers")
 		partitions  = flag.Int("partitions", 1, "K-way hash-partitioned evaluation with delta exchange (1 = unpartitioned)")
 	)
@@ -38,6 +39,7 @@ func main() {
 	engine.SetDefaultWorkers(*workers)
 	engine.SetDefaultCostPlanner(*planner)
 	engine.SetDefaultFrontier(*frontier)
+	engine.SetDefaultFrontierFilter(*ffilter)
 	engine.SetDefaultSharding(*shard)
 	engine.SetDefaultPartitions(*partitions)
 	if *programPath == "" || *factsPath == "" {

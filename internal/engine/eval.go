@@ -173,11 +173,69 @@ type workerOut struct {
 // cost (nbuckets relations per worker) outweighs the parallel merge.
 const partitionThreshold = 1024
 
+// The scratch and relation freelists are process-global, not
+// per-instance: a sync.Pool that ever sees a Put registers itself with
+// the runtime and is visited by every later GC cycle, so per-instance
+// pools make GC cost scale with the number of instances ever built — a
+// real tax on workloads like demand-driven queries that construct
+// thousands of short-lived instances.  Pooled entries carry no
+// instance state (scratches are stripped of references on put,
+// relations are Reset), so sharing them across instances is sound.
+var scratchPool sync.Pool
+
+// maxPooledArity bounds the per-arity freelist array; wider relations
+// are simply allocated fresh.
+const maxPooledArity = 16
+
+var relPools [maxPooledArity + 1]sync.Pool
+
+// getRel checks a relation of the given arity out of the per-arity
+// freelist, falling back to a fresh allocation.  Pooled relations were
+// cleared by Reset on the way in, so a recycled one is
+// indistinguishable from a new one — except its table slots, arena
+// capacity, and map buckets survive, which is the point.
+func (in *Instance) getRel(arity int) *relation.Relation {
+	if arity >= 0 && arity <= maxPooledArity {
+		if r, _ := relPools[arity].Get().(*relation.Relation); r != nil {
+			return r
+		}
+	}
+	return relation.New(arity)
+}
+
+// putRel returns a provably-unreferenced relation to the freelist.
+// Reset refuses frozen or snapshot-sharing storage, so anything a
+// caller might still observe is dropped instead of recycled.
+func (in *Instance) putRel(r *relation.Relation) {
+	if r == nil || r.Arity() < 0 || r.Arity() > maxPooledArity || !r.Reset() {
+		return
+	}
+	relPools[r.Arity()].Put(r)
+}
+
+// putState recycles every relation of a dead worker state.
+func (in *Instance) putState(s State) {
+	for _, r := range s {
+		in.putRel(r)
+	}
+}
+
+// newWorkerState is NewState backed by the instance freelists — the
+// per-round worker outputs come from and return to the pools, so
+// steady-state rounds reuse last round's storage.
+func (in *Instance) newWorkerState() State {
+	s := make(State, len(in.idb))
+	for pred := range in.idb {
+		s[pred] = in.getRel(in.arities[pred])
+	}
+	return s
+}
+
 // newWorkerOut builds a worker's output for the given pass shape.
 // nbuckets ≤ 1 disables partitioning (the sequential path and legacy
 // union merges).
 func (in *Instance) newWorkerOut(opts runOpts, nbuckets int) *workerOut {
-	wo := &workerOut{out: in.NewState(), against: opts.frontier, filters: opts.filters}
+	wo := &workerOut{out: in.newWorkerState(), against: opts.frontier, filters: opts.filters}
 	if opts.nparts > 0 {
 		// Partition-exchange pass: every predicate derives into nparts
 		// owner buckets, regardless of expected cardinality — the bucket
@@ -186,7 +244,7 @@ func (in *Instance) newWorkerOut(opts runOpts, nbuckets int) *workerOut {
 		for pred, r := range wo.out {
 			parts := make([]*relation.Relation, opts.nparts)
 			for b := range parts {
-				parts[b] = relation.New(r.Arity())
+				parts[b] = in.getRel(r.Arity())
 				if n := opts.hints[pred]; n > 0 {
 					parts[b].ReserveHint(n / opts.nparts)
 				}
@@ -200,7 +258,7 @@ func (in *Instance) newWorkerOut(opts runOpts, nbuckets int) *workerOut {
 			if nbuckets > 1 && n >= partitionThreshold {
 				parts := make([]*relation.Relation, nbuckets)
 				for b := range parts {
-					parts[b] = relation.New(r.Arity())
+					parts[b] = in.getRel(r.Arity())
 					parts[b].ReserveHint(n / nbuckets)
 				}
 				if wo.parts == nil {
@@ -228,6 +286,14 @@ func (in *Instance) newWorkerOut(opts runOpts, nbuckets int) *workerOut {
 // are first split into arena-range shards of their driver relation (see
 // expandShards), so even a two-rule program keeps every core busy.
 func (in *Instance) runTasks(tasks []evalTask, pos, neg State, opts runOpts) State {
+	out, _ := in.runTasksStats(tasks, pos, neg, opts)
+	return out
+}
+
+// runTasksStats is runTasks returning the pass's emit-path prefilter
+// telemetry alongside the derived state (zero when opts.filters is
+// nil — the exact-probe-only path never consults a filter).
+func (in *Instance) runTasksStats(tasks []evalTask, pos, neg State, opts runOpts) (State, FilterStats) {
 	nw := in.Workers()
 	if opts.shard && nw > len(tasks) && len(tasks) > 0 && in.Sharding() {
 		tasks = in.expandShards(tasks, pos, nw)
@@ -240,7 +306,7 @@ func (in *Instance) runTasks(tasks []evalTask, pos, neg State, opts runOpts) Sta
 		for _, t := range tasks {
 			in.evalRule(t, pos, neg, wo, nil)
 		}
-		return wo.out
+		return wo.out, FilterStats{Probes: wo.fprobes, Skips: wo.fskips}
 	}
 
 	wos := make([]*workerOut, nw)
@@ -262,18 +328,26 @@ func (in *Instance) runTasks(tasks []evalTask, pos, neg State, opts runOpts) Sta
 		}(w)
 	}
 	wg.Wait()
-	return in.mergeWorkerOuts(wos, nw)
+	var st FilterStats
+	for _, wo := range wos {
+		st.Probes += wo.fprobes
+		st.Skips += wo.fskips
+	}
+	return in.mergeWorkerOuts(wos, nw), st
 }
 
 // mergeWorkerOuts combines per-worker outputs: plain predicates by set
 // union into the first worker's state, partitioned predicates by a
 // parallel per-bucket union followed by disjoint concatenation (buckets
 // are hash partitions, so tuples of different buckets can never
-// collide).
+// collide).  Merged-away worker relations — every output except the
+// returned state's own relations — go back to the instance freelists;
+// tuples themselves are shared into the survivor, never the storage.
 func (in *Instance) mergeWorkerOuts(wos []*workerOut, nbuckets int) State {
 	out := wos[0].out
 	for _, wo := range wos[1:] {
 		out.UnionWith(wo.out)
+		in.putState(wo.out)
 	}
 	for pred, first := range wos[0].parts {
 		merged := make([]*relation.Relation, nbuckets)
@@ -285,15 +359,29 @@ func (in *Instance) mergeWorkerOuts(wos []*workerOut, nbuckets int) State {
 				m := first[b]
 				for _, wo := range wos[1:] {
 					m.UnionWith(wo.parts[pred][b])
+					in.putRel(wo.parts[pred][b])
 				}
 				merged[b] = m
 			}(b)
 		}
 		wg.Wait()
-		whole := relation.ConcatDisjoint(in.arities[pred], merged)
+		// Disjoint concatenation into a pooled relation (the same merge
+		// relation.ConcatDisjoint performs, minus its fresh allocation);
+		// the consumed buckets go straight back to the freelist.
+		total := 0
+		for _, m := range merged {
+			total += m.Len()
+		}
+		whole := in.getRel(in.arities[pred])
+		whole.ReserveHint(total)
+		for _, m := range merged {
+			whole.AppendDisjoint(m)
+			in.putRel(m)
+		}
 		// The non-partitioned per-worker outputs for this predicate are
 		// empty by construction, but union them anyway for safety.
 		whole.UnionWith(out[pred])
+		in.putRel(out[pred])
 		out[pred] = whole
 	}
 	return out
@@ -398,6 +486,58 @@ func (in *Instance) IsFixpoint(s State) bool {
 	return in.Apply(s).Equal(s)
 }
 
+// evalScratch is the reusable per-rule evaluation state: the context
+// struct, its scratch tuples and source slices, and the variable
+// binding array.  evalRule checks one out of the instance's pool per
+// call and returns it cleared, so the steady state of a fixpoint loop
+// allocates nothing here regardless of round count.
+type evalScratch struct {
+	ctx     evalCtx
+	binding []int
+}
+
+// growSlice resizes a scratch slice to n, reallocating only past the
+// high-water mark of previous rules.
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// getScratch checks a cleared evalScratch out of the pool, sized for
+// the given rule plan.
+func (in *Instance) getScratch(rp *rulePlan, maxNeg int) *evalScratch {
+	sc, _ := scratchPool.Get().(*evalScratch)
+	if sc == nil {
+		sc = &evalScratch{}
+	}
+	sc.ctx.headBuf = growSlice(sc.ctx.headBuf, len(rp.headSlots))
+	sc.ctx.negBuf = growSlice(sc.ctx.negBuf, maxNeg)
+	sc.ctx.pos = growSlice(sc.ctx.pos, len(rp.positives))
+	sc.ctx.neg = growSlice(sc.ctx.neg, len(rp.negatives))
+	sc.binding = growSlice(sc.binding, rp.nvars)
+	for i := range sc.binding {
+		sc.binding[i] = -1
+	}
+	return sc
+}
+
+// putScratch returns a scratch to the pool, dropping every relation
+// reference so pooled entries never pin last round's states.
+func (in *Instance) putScratch(sc *evalScratch) {
+	ctx := &sc.ctx
+	ctx.out, ctx.cur, ctx.parts, ctx.cnt, ctx.filter = nil, nil, nil, nil, nil
+	for i := range ctx.pos {
+		ctx.pos[i] = nil
+	}
+	for i := range ctx.neg {
+		ctx.neg[i] = nil
+	}
+	ctx.fprobes, ctx.fskips = 0, 0
+	scratchPool.Put(sc)
+}
+
 // evalRule evaluates one task's rule plan.  posState resolves positive
 // IDB literals, negState negated ones; the task's override maps replace
 // the relation of specific literal indices (the semi-naive and delta
@@ -412,14 +552,10 @@ func (in *Instance) evalRule(task evalTask, posState, negState State, wo *worker
 			maxNeg = len(np.slots)
 		}
 	}
-	ctx := &evalCtx{
-		usize:   in.db.Universe().Size(),
-		out:     wo.out[rp.headPred],
-		headBuf: make(relation.Tuple, len(rp.headSlots)),
-		negBuf:  make(relation.Tuple, maxNeg),
-		pos:     make([]*relation.Relation, len(rp.positives)),
-		neg:     make([]*relation.Relation, len(rp.negatives)),
-	}
+	sc := in.getScratch(rp, maxNeg)
+	ctx := &sc.ctx
+	ctx.usize = in.db.Universe().Size()
+	ctx.out = wo.out[rp.headPred]
 	if wo.parts != nil {
 		ctx.parts = wo.parts[rp.headPred]
 	}
@@ -465,13 +601,10 @@ func (in *Instance) evalRule(task evalTask, posState, negState State, wo *worker
 		shardLit = task.shardLit
 	}
 	ep := buildExec(rp, ctx.pos, in.CostPlanner(), shardLit, task.shardLo, task.shardHi)
-	binding := make([]int, rp.nvars)
-	for i := range binding {
-		binding[i] = -1
-	}
-	in.run(rp, ctx, ep, 0, binding)
+	in.run(rp, ctx, ep, 0, sc.binding)
 	wo.fprobes += ctx.fprobes
 	wo.fskips += ctx.fskips
+	in.putScratch(sc)
 }
 
 // slotValue resolves a slot under the current binding; -1 means the
@@ -500,22 +633,36 @@ func (in *Instance) run(rp *rulePlan, ctx *evalCtx, ep *execPlan, si int, bindin
 		case ctx.cnt != nil:
 			ctx.cnt.Bump(t, 1)
 		case ctx.parts != nil:
+			// One emit-time hash serves owner routing, the Bloom prefilter,
+			// and both membership probes (bucket dedup + accumulated state).
 			h := relation.TupleHash(t)
 			b := ctx.parts[h%uint64(len(ctx.parts))]
 			if ctx.filter != nil {
-				// The Bloom prefilter reuses the routing hash.  "Definitely
-				// absent" proves the tuple is not in the accumulated state, so
-				// only the bucket's own dedup is needed; "maybe present" takes
-				// the exact probe, which drops duplicates exactly.
+				// "Definitely absent" proves the tuple is not in the
+				// accumulated state, so only the bucket's own dedup is
+				// needed; "maybe present" takes the exact probe, which
+				// drops duplicates exactly.
 				ctx.fprobes++
 				if !ctx.filter.MayContainHash(h) {
 					ctx.fskips++
-					b.Add(t)
+					b.AddHash(t, h)
 				} else {
-					b.AddNotIn(t, ctx.cur)
+					b.AddNotInHash(t, h, ctx.cur)
 				}
 			} else {
-				b.AddNotIn(t, ctx.cur)
+				b.AddNotInHash(t, h, ctx.cur)
+			}
+		case ctx.filter != nil:
+			// Unpartitioned frontier pass fronted by the accumulated-state
+			// Bloom summary (Options.FrontierFilter): same protocol as the
+			// exchange path, minus the owner routing.
+			h := relation.TupleHash(t)
+			ctx.fprobes++
+			if !ctx.filter.MayContainHash(h) {
+				ctx.fskips++
+				ctx.out.AddHash(t, h)
+			} else {
+				ctx.out.AddNotInHash(t, h, ctx.cur)
 			}
 		default:
 			ctx.out.AddNotIn(t, ctx.cur)

@@ -79,6 +79,9 @@ type Instance struct {
 	// exchFilter selects the Bloom prefilter on the partition exchange
 	// path.  See SetExchangeFilter.
 	exchFilter Toggle
+	// frontFilter selects the Bloom prefilter on the unpartitioned
+	// frontier path.  See SetFrontierFilter.
+	frontFilter Toggle
 }
 
 // New compiles prog against db.  It returns an error if the program
@@ -105,7 +108,8 @@ func New(prog *ast.Program, db *relation.Database) (*Instance, error) {
 	}
 	// Canonical empty relations are precomputed for every program
 	// arity: edbRel runs concurrently on the evaluation worker pool,
-	// so it must never mutate instance state.
+	// so it must never mutate instance state.  (The scratch and
+	// relation freelists it draws on are process-global — see eval.go.)
 	for _, ar := range arities {
 		if _, ok := in.empties[ar]; !ok {
 			in.empties[ar] = relation.New(ar)

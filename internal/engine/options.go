@@ -79,6 +79,11 @@ type Options struct {
 	// exchange path (Off = every emission takes the exact
 	// accumulated-state probe, the ablation baseline).
 	ExchangeFilter Toggle
+	// FrontierFilter selects the Bloom prefilter on the unpartitioned
+	// frontier path — the same prefilter ExchangeFilter applies to the
+	// exchange path, fronting the fixpoint loops' accumulated-state
+	// probe (Off = exact probes only, the ablation baseline).
+	FrontierFilter Toggle
 }
 
 // apply configures in with the non-default options.
@@ -100,6 +105,9 @@ func (o Options) apply(in *Instance) {
 	}
 	if o.ExchangeFilter != ToggleDefault {
 		in.exchFilter = o.ExchangeFilter
+	}
+	if o.FrontierFilter != ToggleDefault {
+		in.frontFilter = o.FrontierFilter
 	}
 }
 

@@ -8,8 +8,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Fatalf("registered %d experiments, want 17", len(all))
+	if len(all) != 18 {
+		t.Fatalf("registered %d experiments, want 18", len(all))
 	}
 	for i, e := range all {
 		want := i + 1

@@ -58,6 +58,11 @@ type Result struct {
 	State    engine.State
 	Rounds   int
 	MaxDelta int
+	// FilterProbes / FilterSkips are this run's exchange-prefilter
+	// tallies (summed across partitions and rounds); zero with the
+	// filter off.
+	FilterProbes int64
+	FilterSkips  int64
 }
 
 // roundMsg carries one round's inputs to a partition: shared read-only
@@ -79,12 +84,14 @@ type bucketMsg struct {
 }
 
 // acceptMsg is a partition's round result: the merged, deduplicated
-// delta it owns, plus the pre-dedup count of tuples that crossed a
-// partition boundary to reach it.
+// delta it owns, the pre-dedup count of tuples that crossed a partition
+// boundary to reach it, and the round's prefilter tallies.
 type acceptMsg struct {
 	owner    int
 	accepted engine.State
 	cross    int
+	fprobes  int64
+	fskips   int64
 }
 
 // Fixpoint iterates S ↦ S ∪ Θ(S) to its inductive fixpoint across
@@ -184,6 +191,8 @@ func Fixpoint(in *engine.Instance, negFixed engine.State, log func(engine.State)
 			accepted[am.owner] = am.accepted
 			total += am.accepted.Total()
 			exchanged += am.cross
+			res.FilterProbes += am.fprobes
+			res.FilterSkips += am.fskips
 		}
 		res.Rounds++
 		met.rounds.Inc()
@@ -251,7 +260,7 @@ func partitionLoop(in *engine.Instance, p, k, pw int, work <-chan roundMsg, inbo
 		for _, o := range others {
 			own.UnionWith(o)
 		}
-		done <- acceptMsg{owner: p, accepted: own, cross: cross}
+		done <- acceptMsg{owner: p, accepted: own, cross: cross, fprobes: fst.Probes, fskips: fst.Skips}
 	}
 }
 
@@ -268,7 +277,8 @@ func shardState(s engine.State, k int) []engine.State {
 			parts[p] = relation.New(r.Arity())
 		}
 		r.Each(func(t relation.Tuple) bool {
-			parts[relation.TupleHash(t)%uint64(k)].Add(t)
+			h := relation.TupleHash(t)
+			parts[h%uint64(k)].AddHash(t, h)
 			return true
 		})
 		for p := range parts {
@@ -386,7 +396,8 @@ func shardRelation(r *relation.Relation, k int) []*relation.Relation {
 		parts[p] = relation.New(r.Arity())
 	}
 	r.Each(func(t relation.Tuple) bool {
-		parts[relation.TupleHash(t)%uint64(k)].Add(t)
+		h := relation.TupleHash(t)
+		parts[h%uint64(k)].AddHash(t, h)
 		return true
 	})
 	return parts

@@ -89,3 +89,80 @@ func TestFilterEmpty(t *testing.T) {
 		t.Fatalf("added hash not found")
 	}
 }
+
+// TestSpillAddNotInWithFilter exercises the seam between the two key
+// encodings on the filtered emit path: the Bloom filter keys off
+// TupleHash while spill membership keys off byte strings.  It replays
+// the engine's emit protocol — probe the filter with the emit-time
+// hash, fall through to AddNotIn only on "maybe" — over tuples that
+// all take the spill path (ids ≥ 2³² at arity 2), plus a mixed
+// packed/spill stream, and requires exact set semantics throughout.
+func TestSpillAddNotInWithFilter(t *testing.T) {
+	big := 1 << 40
+	cur := New(2)
+	for i := 0; i < 500; i++ {
+		cur.Add(Tuple{big + i, i})
+	}
+	f := FilterOf(cur, cur.Len())
+
+	// Every accumulated spill tuple must answer "maybe" (no false
+	// negatives off the TupleHash key) and then be rejected exactly.
+	out := New(2)
+	cur.Each(func(tp Tuple) bool {
+		h := TupleHash(tp)
+		if !f.MayContainHash(h) {
+			t.Fatalf("false negative for spill tuple %v", tp)
+		}
+		if out.AddNotInHash(tp, h, cur) {
+			t.Fatalf("spill tuple %v in cur was inserted", tp)
+		}
+		return true
+	})
+
+	// Fresh spill tuples: a "definitely absent" verdict may skip the
+	// exact probe (the engine calls Add), a "maybe" goes through
+	// AddNotIn; both must land exactly once.
+	skips := 0
+	for i := 0; i < 500; i++ {
+		tp := Tuple{big + i, i + 1000}
+		h := TupleHash(tp)
+		inserted := false
+		if !f.MayContainHash(h) {
+			skips++
+			inserted = out.AddHash(tp, h)
+		} else {
+			inserted = out.AddNotInHash(tp, h, cur)
+		}
+		if !inserted {
+			t.Fatalf("fresh spill tuple %v rejected", tp)
+		}
+	}
+	if out.Len() != 500 {
+		t.Fatalf("out holds %d tuples, want 500", out.Len())
+	}
+	if skips == 0 {
+		t.Fatal("filter never resolved a fresh spill tuple (no skips)")
+	}
+
+	// Mixed stream: packed and spill tuples through the same filter.
+	mixed := New(2)
+	mf := NewFilter(64)
+	for i := 0; i < 32; i++ {
+		tp := Tuple{i, i} // packed
+		if i%2 == 1 {
+			tp = Tuple{big + i, i} // spill
+		}
+		mf.AddHash(TupleHash(tp))
+		mixed.Add(tp)
+	}
+	mixed.Each(func(tp Tuple) bool {
+		h := TupleHash(tp)
+		if !mf.MayContainHash(h) {
+			t.Fatalf("false negative for mixed tuple %v", tp)
+		}
+		if New(2).AddNotInHash(tp, h, mixed) {
+			t.Fatalf("mixed tuple %v not rejected by its own set", tp)
+		}
+		return true
+	})
+}

@@ -86,11 +86,7 @@ func packKey(t Tuple) (uint64, bool) {
 // the last element); spilled tuples hash element-wise FNV-1a.
 func TupleHash(t Tuple) uint64 {
 	if k, ok := packKey(t); ok {
-		k ^= k >> 30
-		k *= 0xbf58476d1ce4e5b9
-		k ^= k >> 27
-		k *= 0x94d049bb133111eb
-		return k ^ k>>31
+		return mix64(k)
 	}
 	h := uint64(1469598103934665603)
 	for _, v := range t {
@@ -98,6 +94,19 @@ func TupleHash(t Tuple) uint64 {
 		h *= 1099511628211
 	}
 	return h
+}
+
+// mix64 is the splitmix64 finalizer: a bijective scramble of a packed
+// key into a well-mixed 64-bit hash.  It is the single hash function of
+// the dedup path — TupleHash, the open-addressing Table, the Bloom
+// filters, and partition ownership all key off it, so a hash computed
+// once at emit time can be threaded through every probe.
+func mix64(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	return k ^ k>>31
 }
 
 // spillKey returns the byte-string fallback key for tuples that do not

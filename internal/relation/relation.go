@@ -39,7 +39,8 @@ import (
 type Relation struct {
 	arity  int
 	arena  []Tuple          // tuples in insertion order
-	packed map[uint64]int32 // packed key -> arena offset
+	packed map[uint64]int32 // packed key -> arena offset (oracle mode; nil in table mode)
+	table  *Table           // packed key -> arena offset (table mode; lazily allocated)
 	spill  map[string]int32 // fallback key -> arena offset (wide/huge tuples)
 
 	gen    uint64 // mutation generation, stamps lazily built indexes
@@ -79,10 +80,16 @@ type colIndexes struct {
 }
 
 // New returns an empty relation of the given arity.  It panics on a
-// negative arity.
+// negative arity.  Packed-key membership uses the open-addressing
+// Table unless the oracle map mode is selected process-wide (see
+// SetDefaultPackedTable); in table mode the table itself is allocated
+// lazily on the first packed insert, so empty relations stay cheap.
 func New(arity int) *Relation {
 	if arity < 0 {
 		panic(fmt.Sprintf("relation: negative arity %d", arity))
+	}
+	if PackedTableEnabled() {
+		return &Relation{arity: arity}
 	}
 	return &Relation{arity: arity, packed: make(map[uint64]int32)}
 }
@@ -112,15 +119,42 @@ func (r *Relation) Empty() bool { return len(r.arena) == 0 }
 // relation.
 func (r *Relation) offsetOf(t Tuple) int32 {
 	if k, ok := packKey(t); ok {
-		if off, ok := r.packed[k]; ok && off < int32(len(r.arena)) {
-			return off
-		}
-		return -1
+		return r.packedOff(k, mix64(k))
 	}
 	if off, ok := r.spill[spillKey(t)]; ok && off < int32(len(r.arena)) {
 		return off
 	}
 	return -1
+}
+
+// packedOff returns the visible arena offset of packed key k (whose
+// hash h must equal mix64(k)), or -1, probing whichever packed-key
+// store this relation uses.
+func (r *Relation) packedOff(k, h uint64) int32 {
+	if r.packed != nil {
+		if off, ok := r.packed[k]; ok && off < int32(len(r.arena)) {
+			return off
+		}
+		return -1
+	}
+	if r.table != nil {
+		if off, ok := r.table.getHash(k, h); ok && off < int32(len(r.arena)) {
+			return off
+		}
+	}
+	return -1
+}
+
+// packedPut records packed key k -> off; h must equal mix64(k).
+func (r *Relation) packedPut(k, h uint64, off int32) {
+	if r.packed != nil {
+		r.packed[k] = off
+		return
+	}
+	if r.table == nil {
+		r.table = newTable(0)
+	}
+	r.table.putHash(k, h, off)
 }
 
 // Snapshot returns an O(1) immutable view of the relation's current
@@ -160,6 +194,7 @@ func (r *Relation) view() *Relation {
 		arity:  r.arity,
 		arena:  r.arena[:n:n],
 		packed: r.packed,
+		table:  r.table,
 		spill:  r.spill,
 		frozen: true,
 	}
@@ -184,13 +219,20 @@ func (r *Relation) beforeMutate(appendOnly bool) {
 func (r *Relation) detach() {
 	arena := make([]Tuple, len(r.arena))
 	copy(arena, r.arena)
-	packed := make(map[uint64]int32, len(r.packed))
-	for k, off := range r.packed {
-		if off < int32(len(arena)) {
-			packed[k] = off
+	if r.packed != nil {
+		packed := make(map[uint64]int32, len(r.packed))
+		for k, off := range r.packed {
+			if off < int32(len(arena)) {
+				packed[k] = off
+			}
 		}
+		r.packed = packed
+	} else {
+		// Live relations never hold offsets past their own arena, so
+		// a straight copy preserves the table exactly.
+		r.table = r.table.clone()
 	}
-	r.arena, r.packed = arena, packed
+	r.arena = arena
 	if len(r.spill) > 0 {
 		spill := make(map[string]int32, len(r.spill))
 		for k, off := range r.spill {
@@ -235,7 +277,7 @@ func (r *Relation) Add(t Tuple) bool {
 func (r *Relation) insertKey(t Tuple) {
 	off := int32(len(r.arena))
 	if k, ok := packKey(t); ok {
-		r.packed[k] = off
+		r.packedPut(k, mix64(k), off)
 		return
 	}
 	if r.spill == nil {
@@ -252,6 +294,40 @@ func (r *Relation) Has(t Tuple) bool {
 	return r.offsetOf(t) >= 0
 }
 
+// HasHash is Has for callers that already computed h = TupleHash(t),
+// e.g. the engine's emit path, which needs the same hash for the
+// Bloom filter and partition ownership.  Passing a wrong hash yields
+// wrong answers; it is the caller's contract, not checked.
+func (r *Relation) HasHash(t Tuple, h uint64) bool {
+	if len(t) != r.arity {
+		return false
+	}
+	if k, ok := packKey(t); ok {
+		return r.packedOff(k, h) >= 0
+	}
+	off, ok := r.spill[spillKey(t)]
+	return ok && off < int32(len(r.arena))
+}
+
+// AddHash is Add for callers that already computed h = TupleHash(t):
+// the membership probe and the insert reuse the hash instead of
+// re-deriving it from the packed key.
+func (r *Relation) AddHash(t Tuple, h uint64) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("relation: adding tuple of arity %d to relation of arity %d", len(t), r.arity))
+	}
+	if k, ok := packKey(t); ok {
+		if r.packedOff(k, h) >= 0 {
+			return false
+		}
+		r.beforeMutate(true)
+		r.packedPut(k, h, int32(len(r.arena)))
+		r.arena = append(r.arena, t.Clone())
+		return true
+	}
+	return r.addSpillNotIn(t, nil)
+}
+
 // AddNotIn inserts t unless it is already present in filter — the fused
 // emit of the engine's frontier evaluation: one read-only membership
 // probe against the accumulated state, then a straight insert into the
@@ -263,19 +339,43 @@ func (r *Relation) AddNotIn(t Tuple, filter *Relation) bool {
 		panic(fmt.Sprintf("relation: adding tuple of arity %d to relation of arity %d", len(t), r.arity))
 	}
 	if k, ok := packKey(t); ok {
-		if filter != nil {
-			if off, ok := filter.packed[k]; ok && off < int32(len(filter.arena)) {
-				return false
-			}
-		}
-		if off, ok := r.packed[k]; ok && off < int32(len(r.arena)) {
-			return false
-		}
-		r.beforeMutate(true)
-		r.packed[k] = int32(len(r.arena))
-		r.arena = append(r.arena, t.Clone())
-		return true
+		return r.addPackedNotIn(t, k, mix64(k), filter)
 	}
+	return r.addSpillNotIn(t, filter)
+}
+
+// AddNotInHash is AddNotIn for callers that already computed
+// h = TupleHash(t): one emit-time hash feeds the filter probe here,
+// the Bloom filter, and partition ownership at the call site.
+func (r *Relation) AddNotInHash(t Tuple, h uint64, filter *Relation) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("relation: adding tuple of arity %d to relation of arity %d", len(t), r.arity))
+	}
+	if k, ok := packKey(t); ok {
+		return r.addPackedNotIn(t, k, h, filter)
+	}
+	return r.addSpillNotIn(t, filter)
+}
+
+// addPackedNotIn is the packed-tuple body of AddNotIn/AddNotInHash:
+// h must equal mix64(k) == TupleHash(t).
+func (r *Relation) addPackedNotIn(t Tuple, k, h uint64, filter *Relation) bool {
+	if filter != nil && filter.packedOff(k, h) >= 0 {
+		return false
+	}
+	if r.packedOff(k, h) >= 0 {
+		return false
+	}
+	r.beforeMutate(true)
+	r.packedPut(k, h, int32(len(r.arena)))
+	r.arena = append(r.arena, t.Clone())
+	return true
+}
+
+// addSpillNotIn is the wide-tuple fallback of AddNotIn/AddNotInHash:
+// membership keys off the byte-string spill encoding regardless of
+// which hash the caller computed.
+func (r *Relation) addSpillNotIn(t Tuple, filter *Relation) bool {
 	if filter != nil && filter.Has(t) {
 		return false
 	}
@@ -291,13 +391,55 @@ func (r *Relation) AddNotIn(t Tuple, filter *Relation) bool {
 // ReserveHint pre-sizes the relation's storage for about n tuples, so a
 // caller that knows the expected cardinality (e.g. last round's delta)
 // avoids incremental map growth on the hot insert path.  It only acts
-// on a still-empty mutable relation; otherwise it is a no-op.
+// on a still-empty mutable relation; otherwise it is a no-op.  It is
+// capacity-aware: storage a recycled relation (see Reset) already owns
+// is kept, so the steady state of a pooled scratch relation allocates
+// nothing here.
 func (r *Relation) ReserveHint(n int) {
 	if r.frozen || len(r.arena) > 0 || n <= 0 {
 		return
 	}
-	r.packed = make(map[uint64]int32, n)
-	r.arena = make([]Tuple, 0, n)
+	if cap(r.arena) < n {
+		r.arena = make([]Tuple, 0, n)
+	}
+	if r.packed != nil {
+		r.packed = make(map[uint64]int32, n)
+		return
+	}
+	if r.table == nil || r.share != shareNone {
+		// A shared (snapshotted/sealed) table must not grow in place:
+		// views hold the same Table, so replace rather than resize.
+		r.table = newTable(n)
+		return
+	}
+	r.table.Reserve(n)
+}
+
+// Reset clears the relation for reuse, keeping allocated capacity
+// (arena, table slots, map buckets) — the freelist protocol of the
+// engine's per-round scratch pools.  It refuses, returning false,
+// when the storage is frozen or still shared with snapshots; such a
+// relation must be dropped, not recycled.
+func (r *Relation) Reset() bool {
+	if r.frozen || r.share != shareNone {
+		return false
+	}
+	for i := range r.arena {
+		r.arena[i] = nil
+	}
+	r.arena = r.arena[:0]
+	if r.packed != nil {
+		clear(r.packed)
+	} else if r.table != nil {
+		r.table.Reset()
+	}
+	if r.spill != nil {
+		clear(r.spill)
+	}
+	r.invalidate()
+	r.idx.Store(nil)
+	r.cidx.Store(nil)
+	return true
 }
 
 // AppendDisjoint appends every tuple of o without membership probes.
@@ -359,7 +501,7 @@ func (r *Relation) Remove(t Tuple) bool {
 		moved := r.arena[last]
 		r.arena[off] = moved
 		if k, ok := packKey(moved); ok {
-			r.packed[k] = off
+			r.packedPut(k, mix64(k), off)
 		} else {
 			r.spill[spillKey(moved)] = off
 		}
@@ -383,7 +525,11 @@ func (r *Relation) invalidate() { r.gen++ }
 
 func (r *Relation) deleteKey(t Tuple) {
 	if k, ok := packKey(t); ok {
-		delete(r.packed, k)
+		if r.packed != nil {
+			delete(r.packed, k)
+		} else if r.table != nil {
+			r.table.deleteHash(k, mix64(k))
+		}
 		return
 	}
 	delete(r.spill, spillKey(t))
@@ -416,16 +562,21 @@ func (r *Relation) At(off int32) Tuple { return r.arena[off] }
 // by contract.
 func (r *Relation) Clone() *Relation {
 	c := &Relation{
-		arity:  r.arity,
-		arena:  make([]Tuple, len(r.arena)),
-		packed: make(map[uint64]int32, len(r.packed)),
+		arity: r.arity,
+		arena: make([]Tuple, len(r.arena)),
 	}
 	copy(c.arena, r.arena)
 	if r.frozen {
-		// Shared maps may hold entries past the view; rebuild exactly.
+		// Shared key stores may hold entries past the view; rebuild
+		// exactly, in the source's storage mode.
+		if r.packed != nil {
+			c.packed = make(map[uint64]int32, len(c.arena))
+		} else if len(c.arena) > 0 {
+			c.table = newTable(len(c.arena))
+		}
 		for off, t := range c.arena {
 			if k, ok := packKey(t); ok {
-				c.packed[k] = int32(off)
+				c.packedPut(k, mix64(k), int32(off))
 			} else {
 				if c.spill == nil {
 					c.spill = make(map[string]int32)
@@ -435,8 +586,13 @@ func (r *Relation) Clone() *Relation {
 		}
 		return c
 	}
-	for k, off := range r.packed {
-		c.packed[k] = off
+	if r.packed != nil {
+		c.packed = make(map[uint64]int32, len(r.packed))
+		for k, off := range r.packed {
+			c.packed[k] = off
+		}
+	} else {
+		c.table = r.table.clone()
 	}
 	if len(r.spill) > 0 {
 		c.spill = make(map[string]int32, len(r.spill))

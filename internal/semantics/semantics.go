@@ -38,6 +38,22 @@ type Stats struct {
 	Tuples int
 	// MaxDeltaTuples is the largest per-stage growth observed.
 	MaxDeltaTuples int
+	// FilterProbes counts emit-path Bloom prefilter consultations across
+	// the evaluation (the frontier filter on the unpartitioned path, the
+	// exchange filter on the partitioned one); FilterSkips counts the
+	// definitive-absent answers that skipped the exact accumulated-state
+	// probe.  Both are zero when the prefilters are off.
+	FilterProbes int64
+	FilterSkips  int64
+}
+
+// Core returns the stats with the prefilter telemetry cleared: the
+// fields bit-exactness comparisons care about (rounds, tuples, max
+// delta), which must agree across every toggle combination — the
+// probe/skip tallies legitimately differ with the filters on or off.
+func (s Stats) Core() Stats {
+	s.FilterProbes, s.FilterSkips = 0, 0
+	return s
 }
 
 // Result is the outcome of a two-valued evaluation.
@@ -126,8 +142,9 @@ func lfpLoopLog(in *engine.Instance, negFixed engine.State, mode Mode, log func(
 	if mode == SemiNaive && in.Partitions() > 1 {
 		pr := partition.Fixpoint(in, negFixed, log)
 		return &Result{
-			State:    pr.State,
-			Stats:    Stats{Rounds: pr.Rounds, Tuples: pr.State.Total(), MaxDeltaTuples: pr.MaxDelta},
+			State: pr.State,
+			Stats: Stats{Rounds: pr.Rounds, Tuples: pr.State.Total(), MaxDeltaTuples: pr.MaxDelta,
+				FilterProbes: pr.FilterProbes, FilterSkips: pr.FilterSkips},
 			Universe: in.Universe(),
 		}
 	}
@@ -152,10 +169,23 @@ func lfpLoopLog(in *engine.Instance, negFixed engine.State, mode Mode, log func(
 		stats.MaxDeltaTuples = n
 	}
 
+	// The frontier prefilter exists only on the fused-probe semi-naive
+	// path, where this loop can keep it covering the accumulated state
+	// between rounds (a false negative would corrupt the disjoint union;
+	// see relation/filter.go for the soundness contract).
+	useFilter := mode == SemiNaive && in.FrontierEval() && in.FrontierFilter()
+	var filters map[string]*relation.Filter
+	if useFilter {
+		filters = engine.FrontierFilters(cur)
+	}
+
 	for !delta.Empty() {
 		var newDelta engine.State
 		if mode == SemiNaive {
-			newDelta = in.ApplyDeltaSplitFrontier(prev, delta, cur, negOf(cur))
+			var fst engine.FilterStats
+			newDelta, fst = in.ApplyDeltaSplitFrontierFiltered(prev, delta, cur, negOf(cur), filters)
+			stats.FilterProbes += fst.Probes
+			stats.FilterSkips += fst.Skips
 		} else {
 			newDelta = in.ApplySplitFrontier(cur, negOf(cur), cur)
 		}
@@ -168,6 +198,9 @@ func lfpLoopLog(in *engine.Instance, negFixed engine.State, mode Mode, log func(
 		}
 		prev = cur.Snapshot()
 		cur.UnionDisjoint(newDelta)
+		if useFilter {
+			filters = engine.ExtendFrontierFilters(filters, cur, newDelta)
+		}
 		if log != nil {
 			log(cur.Snapshot())
 		}

@@ -138,6 +138,15 @@ type PartitionMetrics struct {
 	LastTuples      []int64 `json:"last_partition_tuples,omitempty"`
 }
 
+// EngineMetrics reports the unpartitioned engine's dedup-path
+// telemetry: frontier-prefilter consultations and the share resolved
+// without an exact accumulated-state probe.
+type EngineMetrics struct {
+	FrontierFilterProbes int64   `json:"frontier_filter_probes"`
+	FrontierFilterSkips  int64   `json:"frontier_filter_skips"`
+	FrontierFilterRate   float64 `json:"frontier_filter_hit_rate"`
+}
+
 // LatencyMetrics are microsecond latency estimates for one endpoint
 // (percentiles carry the histogram's ≤25% bucket error).
 type LatencyMetrics struct {
@@ -163,6 +172,7 @@ type MetricsResponse struct {
 	Queue          QueueMetrics               `json:"queue"`
 	RewriteCache   CacheMetrics               `json:"rewrite_cache"`
 	Partition      PartitionMetrics           `json:"partition"`
+	Engine         EngineMetrics              `json:"engine"`
 	Endpoints      map[string]EndpointMetrics `json:"endpoints"`
 }
 

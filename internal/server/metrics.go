@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/partition"
 )
@@ -127,6 +128,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if pm.FilterProbes > 0 {
 		resp.Partition.FilterHitRate = float64(pm.FilterSkips) / float64(pm.FilterProbes)
+	}
+
+	fp, fs := engine.FrontierFilterTotals()
+	resp.Engine = EngineMetrics{FrontierFilterProbes: fp, FrontierFilterSkips: fs}
+	if fp > 0 {
+		resp.Engine.FrontierFilterRate = float64(fs) / float64(fp)
 	}
 
 	for name, ep := range s.met.endpoints {

@@ -75,6 +75,11 @@ type Options struct {
 	// exchange path (Default/On = filtered when frontier evaluation is
 	// active, Off = every emission takes the exact membership probe).
 	ExchangeFilter Toggle
+	// FrontierFilter toggles the same Bloom prefilter on the
+	// unpartitioned frontier path: the fixpoint loops keep a summary of
+	// the accumulated state and a definitive "absent" answer skips the
+	// exact dedup probe at emit time (Off = exact probes only).
+	FrontierFilter Toggle
 }
 
 // engineOpts converts the engine-facing subset of the options.
@@ -86,6 +91,7 @@ func (o Options) engineOpts() engine.Options {
 		Sharding:       o.Sharding,
 		Partitions:     o.Partitions,
 		ExchangeFilter: o.ExchangeFilter,
+		FrontierFilter: o.FrontierFilter,
 	}
 }
 

@@ -2,8 +2,13 @@
 // when any benchmark present in both regressed by more than a
 // threshold.  It is the enforcement half of CI's benchstat job:
 // benchstat renders the human-readable comparison, benchdiff gates the
-// build, comparing per-benchmark medians (robust to the odd noisy
-// iteration on shared runners).
+// build, comparing per-benchmark minima.  The minimum — not the median
+// — is the robust estimator on shared runners: timing noise (thermal
+// throttling, noisy neighbors, GC from a colliding job) is strictly
+// additive, so the fastest of N iterations is the closest observation
+// of the true cost on each side, while a median still drifts whenever
+// noise hits half the iterations.  A genuine code regression slows
+// every iteration, so it shifts the minimum just as far.
 //
 // Usage:
 //
@@ -47,13 +52,14 @@ func parseBench(path string) (map[string][]float64, error) {
 	return out, sc.Err()
 }
 
-func median(xs []float64) float64 {
-	sort.Float64s(xs)
-	n := len(xs)
-	if n%2 == 1 {
-		return xs[n/2]
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
 	}
-	return (xs[n/2-1] + xs[n/2]) / 2
+	return m
 }
 
 func main() {
@@ -88,7 +94,7 @@ func main() {
 
 	failed := false
 	for _, name := range names {
-		b, h := median(base[name]), median(head[name])
+		b, h := minOf(base[name]), minOf(head[name])
 		delta := (h - b) / b * 100
 		status := "ok"
 		if delta > *threshold {
