@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench bench-smoke bench-json bench-serve profile staticcheck fuzz-smoke cover ci
+.PHONY: all build test race vet fmt fmt-check bench bench-smoke bench-json bench-serve profile staticcheck fuzz-smoke crashtest cover ci
 
 all: build
 
@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine ./internal/relation ./internal/semantics ./internal/partition ./internal/incr ./internal/server
+	$(GO) test -race ./internal/engine ./internal/relation ./internal/semantics ./internal/partition ./internal/incr ./internal/durable ./internal/server
 
 vet:
 	$(GO) vet ./...
@@ -122,6 +122,14 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParser$$' -fuzztime $(FUZZTIME) ./internal/parser
 	$(GO) test -run '^$$' -fuzz '^FuzzFacts$$' -fuzztime $(FUZZTIME) ./internal/parser
 	$(GO) test -run '^$$' -fuzz '^FuzzMagicRewrite$$' -fuzztime $(FUZZTIME) ./internal/magic
+	$(GO) test -run '^$$' -fuzz '^FuzzWALDecode$$' -fuzztime $(FUZZTIME) ./internal/durable
+
+# The durability kill harness: spawn the daemon with a data dir,
+# kill -9 at random points, restart, and diff every relation against a
+# from-scratch recompute over the surviving snapshot + WAL.
+CRASHES ?= 24
+crashtest:
+	$(GO) run ./scripts/crashtest -crashes $(CRASHES) -fsync always
 
 # Statement coverage with the recorded floor (the total measured when
 # the gate was introduced, minus noise margin): PRs may not shed tests.

@@ -46,6 +46,7 @@ type options struct {
 	queryPred  string
 	updatePred string
 	seed       int64
+	retries    int
 }
 
 func newFlags(name string, opts *options) *flag.FlagSet {
@@ -58,6 +59,7 @@ func newFlags(name string, opts *options) *flag.FlagSet {
 	fs.StringVar(&opts.queryPred, "query-pred", "", "predicate for /v1/query (default: largest relation)")
 	fs.StringVar(&opts.updatePred, "update-pred", "", "EDB predicate for /v1/update (default: smallest relation)")
 	fs.Int64Var(&opts.seed, "seed", 1, "RNG seed for mix scheduling and constant choice")
+	fs.IntVar(&opts.retries, "retries", 3, "retries per 429-rejected request, honoring Retry-After with capped jittered backoff (0 = give up immediately)")
 	return fs
 }
 
@@ -68,7 +70,8 @@ var classes = []string{"read", "query", "update"}
 type classRec struct {
 	count    metrics.Counter
 	errors   metrics.Counter
-	rejected metrics.Counter // 429 admission-control answers (update only)
+	rejected metrics.Counter // 429s still rejected after retries ran out
+	retries  metrics.Counter // backoff-and-retry attempts after a 429
 	lat      metrics.Histogram
 }
 
@@ -193,7 +196,18 @@ func worker(w int, opts *options, weights map[string]int, tg *target, recs map[s
 		class := deck[i%len(deck)]
 		rec := recs[class]
 		start := time.Now()
-		status, err := doRequest(client, opts.addr, class, w, rng, tg, &inserted)
+		status, retryAfter, err := doRequest(client, opts.addr, class, w, rng, tg, &inserted)
+		// A 429 is admission control, not failure: back off as the
+		// server asked (Retry-After) and retry, up to -retries times.
+		for attempt := 0; err == nil && status == http.StatusTooManyRequests && attempt < opts.retries; attempt++ {
+			wait := backoff(attempt, retryAfter, rng)
+			if time.Now().Add(wait).After(deadline) {
+				break
+			}
+			time.Sleep(wait)
+			rec.retries.Inc()
+			status, retryAfter, err = doRequest(client, opts.addr, class, w, rng, tg, &inserted)
+		}
 		rec.lat.Observe(time.Since(start))
 		rec.count.Inc()
 		switch {
@@ -205,6 +219,22 @@ func worker(w int, opts *options, weights map[string]int, tg *target, recs map[s
 			rec.errors.Inc()
 		}
 	}
+}
+
+// backoff picks the wait before retrying a 429: the server's
+// Retry-After if it sent one, otherwise 50ms doubled per attempt; both
+// capped at 2s and jittered into [wait/2, wait] so synchronized
+// retriers spread out instead of re-colliding.
+func backoff(attempt int, retryAfter string, rng *rand.Rand) time.Duration {
+	wait := 50 * time.Millisecond << min(attempt, 5)
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs > 0 {
+		wait = time.Duration(secs) * time.Second
+	}
+	if maxWait := 2 * time.Second; wait > maxWait {
+		wait = maxWait
+	}
+	half := wait / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
 }
 
 // buildDeck expands the weights into a shuffled schedule, so each
@@ -220,7 +250,7 @@ func buildDeck(weights map[string]int, rng *rand.Rand) []string {
 	return deck
 }
 
-func doRequest(client *http.Client, addr, class string, w int, rng *rand.Rand, tg *target, inserted *bool) (int, error) {
+func doRequest(client *http.Client, addr, class string, w int, rng *rand.Rand, tg *target, inserted *bool) (int, string, error) {
 	switch class {
 	case "read":
 		return do(client, http.MethodGet, addr+"/v1/stats", nil)
@@ -247,23 +277,25 @@ func doRequest(client *http.Client, addr, class string, w int, rng *rand.Rand, t
 		if *inserted {
 			op = "delete"
 		}
-		status, err := do(client, http.MethodPost, addr+"/v1/update", map[string]any{
+		status, retryAfter, err := do(client, http.MethodPost, addr+"/v1/update", map[string]any{
 			op: []map[string]any{{"pred": tg.updatePred, "args": fact}},
 		})
 		if err == nil && status == http.StatusOK {
 			*inserted = !*inserted
 		}
-		return status, err
+		return status, retryAfter, err
 	}
-	return 0, fmt.Errorf("unknown class %q", class)
+	return 0, "", fmt.Errorf("unknown class %q", class)
 }
 
-func do(client *http.Client, method, url string, body any) (int, error) {
+// do issues one request and returns the status plus any Retry-After
+// header (the backoff hint on 429).
+func do(client *http.Client, method, url string, body any) (int, string, error) {
 	var rd *bytes.Reader
 	if body != nil {
 		buf, err := json.Marshal(body)
 		if err != nil {
-			return 0, err
+			return 0, "", err
 		}
 		rd = bytes.NewReader(buf)
 	} else {
@@ -271,14 +303,14 @@ func do(client *http.Client, method, url string, body any) (int, error) {
 	}
 	req, err := http.NewRequest(method, url, rd)
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	defer resp.Body.Close()
 	// Drain so the connection is reused.
@@ -288,7 +320,7 @@ func do(client *http.Client, method, url string, body any) (int, error) {
 			break
 		}
 	}
-	return resp.StatusCode, nil
+	return resp.StatusCode, resp.Header.Get("Retry-After"), nil
 }
 
 // report prints the run in `go test -bench` format, then appends the
@@ -304,10 +336,10 @@ func report(out io.Writer, opts *options, recs map[string]*classRec, elapsed tim
 		if n == 0 {
 			continue
 		}
-		fmt.Fprintf(out, "BenchmarkServeLoad/%s-%d \t%d\t%.0f ns/op\t%.1f qps\t%.1f p50-us\t%.1f p90-us\t%.1f p99-us\t%d errors\t%d rejected\n",
+		fmt.Fprintf(out, "BenchmarkServeLoad/%s-%d \t%d\t%.0f ns/op\t%.1f qps\t%.1f p50-us\t%.1f p90-us\t%.1f p99-us\t%d errors\t%d rejected\t%d retries\n",
 			c, opts.conns, n, float64(r.lat.Mean()), float64(n)/elapsed.Seconds(),
 			us(r.lat.Quantile(0.50)), us(r.lat.Quantile(0.90)), us(r.lat.Quantile(0.99)),
-			r.errors.Load(), r.rejected.Load())
+			r.errors.Load(), r.rejected.Load(), r.retries.Load())
 	}
 	fmt.Fprintf(out, "BenchmarkServeLoad/total-%d \t%d\t%.0f ns/op\t%.1f qps\n",
 		opts.conns, total, elapsed.Seconds()*1e9/float64(max64(total, 1)), float64(total)/elapsed.Seconds())

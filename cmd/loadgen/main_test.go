@@ -3,8 +3,10 @@ package main
 import (
 	"bytes"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -98,6 +100,78 @@ func TestEndToEnd(t *testing.T) {
 	// A paced run exercises the qps ticker path.
 	opts.qps = 1000
 	worker(1, &opts, weights, tg, recs, time.Now().Add(50*time.Millisecond))
+}
+
+// TestBackoff pins the retry wait: jittered into [base/2, base],
+// exponential without a server hint, honoring Retry-After when sent,
+// always capped at 2s.
+func TestBackoff(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for attempt := 0; attempt < 10; attempt++ {
+		base := 50 * time.Millisecond << min(attempt, 5)
+		if base > 2*time.Second {
+			base = 2 * time.Second
+		}
+		for i := 0; i < 50; i++ {
+			if w := backoff(attempt, "", rng); w < base/2 || w > base {
+				t.Fatalf("backoff(%d) = %v, want in [%v, %v]", attempt, w, base/2, base)
+			}
+		}
+	}
+	if w := backoff(0, "1", rng); w < 500*time.Millisecond || w > time.Second {
+		t.Errorf("Retry-After: 1 gave %v, want in [500ms, 1s]", w)
+	}
+	if w := backoff(0, "60", rng); w > 2*time.Second {
+		t.Errorf("Retry-After: 60 gave %v, want capped at 2s", w)
+	}
+	if w := backoff(0, "soon", rng); w > 50*time.Millisecond {
+		t.Errorf("garbage Retry-After gave %v, want the 50ms fallback", w)
+	}
+}
+
+// TestRetryOn429: a 429 answer is retried after the backoff and the
+// retry is counted; the request only lands in `rejected` once the
+// retry budget is spent.
+func TestRetryOn429(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte("{}"))
+	}))
+	defer ts.Close()
+
+	opts := options{addr: ts.URL, conns: 1, seed: 1, retries: 3}
+	recs := map[string]*classRec{}
+	for _, c := range classes {
+		recs[c] = &classRec{}
+	}
+	worker(0, &opts, map[string]int{"read": 1}, &target{}, recs, time.Now().Add(400*time.Millisecond))
+	r := recs["read"]
+	if r.retries.Load() < 2 {
+		t.Errorf("retries = %d, want >= 2 (two 429s before the first success)", r.retries.Load())
+	}
+	if r.rejected.Load() != 0 {
+		t.Errorf("rejected = %d, want 0: the retries absorbed every 429", r.rejected.Load())
+	}
+	if r.errors.Load() != 0 {
+		t.Errorf("errors = %d, want 0", r.errors.Load())
+	}
+
+	// With no retry budget the same traffic records rejections.
+	hits.Store(0)
+	opts.retries = 0
+	norec := map[string]*classRec{}
+	for _, c := range classes {
+		norec[c] = &classRec{}
+	}
+	worker(0, &opts, map[string]int{"read": 1}, &target{}, norec, time.Now().Add(50*time.Millisecond))
+	if norec["read"].rejected.Load() == 0 {
+		t.Error("zero-retry run recorded no rejections")
+	}
 }
 
 // TestBuildDeckExactMix: the schedule realizes the weights exactly.

@@ -7,9 +7,16 @@
 // are group-committed: a bounded queue coalesces them into shared
 // maintainer passes, and a full queue sheds load with 429.
 //
+// With -data-dir the daemon is durable: committed batches are appended
+// to a write-ahead log before they are acknowledged, checkpoints
+// snapshot the maintained state in the background, and a restart
+// recovers by restoring the snapshot and replaying the WAL suffix —
+// no fixpoint re-run (see internal/durable).
+//
 // Usage:
 //
 //	serve -program tc.dl -facts graph.dl [-semantics inflationary] [-addr :8090]
+//	      [-data-dir DIR] [-checkpoint-every 256|64mb] [-fsync always|interval|off]
 //
 // API (JSON; see internal/server for the wire types):
 //
@@ -29,10 +36,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/engine"
 	"repro/internal/parser"
 	"repro/internal/server"
@@ -58,6 +68,12 @@ type options struct {
 	queueDepth   int
 	commitWindow time.Duration
 	maxBatch     int
+	maxBody      int64
+
+	dataDir         string
+	checkpointEvery string
+	fsync           string
+	fsyncInterval   time.Duration
 }
 
 // newFlags defines the flag set over opts.  Split from main so tests
@@ -78,11 +94,51 @@ func newFlags(name string, opts *options) *flag.FlagSet {
 	fs.IntVar(&opts.queueDepth, "queue-depth", 256, "bound on queued updates; a full queue answers 429")
 	fs.DurationVar(&opts.commitWindow, "commit-window", 0, "how long the committer waits for more updates to coalesce (0 = drain-only)")
 	fs.IntVar(&opts.maxBatch, "max-batch", 1024, "max update requests coalesced into one maintainer pass")
+	fs.Int64Var(&opts.maxBody, "max-body", 1<<20, "max request body bytes; larger bodies answer 413")
+	fs.StringVar(&opts.dataDir, "data-dir", "", "directory for the checkpoint snapshot and write-ahead log (empty = in-memory only)")
+	fs.StringVar(&opts.checkpointEvery, "checkpoint-every", "256", "checkpoint after N committed batches, or after a kb/mb/gb size of WAL growth")
+	fs.StringVar(&opts.fsync, "fsync", "always", "WAL sync policy: always|interval|off")
+	fs.DurationVar(&opts.fsyncInterval, "fsync-interval", time.Second, "flush period under -fsync=interval")
 	return fs
 }
 
+// parseCheckpointEvery reads the -checkpoint-every value: a bare
+// integer counts committed batches, a kb/mb/gb suffix measures WAL
+// growth in bytes.
+func parseCheckpointEvery(s string) (batches int, bytes int64, err error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "" {
+		return 0, 0, nil
+	}
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{{"kb", 1 << 10}, {"mb", 1 << 20}, {"gb", 1 << 30}} {
+		if strings.HasSuffix(s, u.suffix) {
+			n, err := strconv.ParseInt(strings.TrimSuffix(s, u.suffix), 10, 64)
+			if err != nil || n <= 0 {
+				return 0, 0, fmt.Errorf("-checkpoint-every: bad size %q", s)
+			}
+			return 0, n * u.mult, nil
+		}
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0, 0, fmt.Errorf("-checkpoint-every: want a batch count or kb/mb/gb size, got %q", s)
+	}
+	return n, 0, nil
+}
+
 // serverConfig translates the flags into the server's options API.
-func (o *options) serverConfig() server.Config {
+func (o *options) serverConfig() (server.Config, error) {
+	batches, bytes, err := parseCheckpointEvery(o.checkpointEvery)
+	if err != nil {
+		return server.Config{}, err
+	}
+	policy, err := durable.ParseFsyncPolicy(o.fsync)
+	if err != nil {
+		return server.Config{}, err
+	}
 	return server.Config{
 		Engine: engine.Options{
 			Workers:        o.workers,
@@ -92,10 +148,30 @@ func (o *options) serverConfig() server.Config {
 			Sharding:       engine.ToggleOf(o.shard),
 			Partitions:     o.partitions,
 		},
-		MagicDefault: o.magic,
-		QueueDepth:   o.queueDepth,
-		CommitWindow: o.commitWindow,
-		MaxBatch:     o.maxBatch,
+		MagicDefault:      o.magic,
+		QueueDepth:        o.queueDepth,
+		CommitWindow:      o.commitWindow,
+		MaxBatch:          o.maxBatch,
+		MaxBodyBytes:      o.maxBody,
+		DataDir:           o.dataDir,
+		Fsync:             policy,
+		FsyncInterval:     o.fsyncInterval,
+		CheckpointBatches: batches,
+		CheckpointBytes:   bytes,
+	}, nil
+}
+
+// newHTTPServer builds the hardened listener: header, read, write, and
+// idle timeouts so a stalled or slow-drip client cannot pin a
+// connection (body size is capped separately by -max-body).
+func newHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
 }
 
@@ -122,8 +198,12 @@ func main() {
 		fatal(err)
 	}
 
+	cfg, err := opts.serverConfig()
+	if err != nil {
+		fatal(err)
+	}
 	start := time.Now()
-	srv, err := server.NewWith(prog, db, sem, opts.serverConfig())
+	srv, err := server.NewWith(prog, db, sem, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -141,8 +221,12 @@ func main() {
 	log.Printf("serve: workers=%d planner=%t frontier=%t frontier-filter=%t shard=%t partitions=%d magic=%t queue-depth=%d commit-window=%v max-batch=%d",
 		opts.workers, opts.planner, opts.frontier, opts.frontierFilter, opts.shard, opts.partitions, opts.magic,
 		opts.queueDepth, opts.commitWindow, opts.maxBatch)
+	if opts.dataDir != "" {
+		log.Printf("serve: durable in %s (fsync=%s, checkpoint-every=%s)",
+			opts.dataDir, opts.fsync, opts.checkpointEvery)
+	}
 
-	hs := &http.Server{Addr: opts.addr, Handler: srv.Handler()}
+	hs := newHTTPServer(opts.addr, srv.Handler())
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	go func() {

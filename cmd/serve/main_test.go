@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/engine"
 )
 
@@ -48,11 +49,16 @@ func TestServerConfig(t *testing.T) {
 	err := fs.Parse([]string{
 		"-workers", "3", "-planner=false", "-frontier=false", "-shard=false",
 		"-magic", "-queue-depth", "7", "-commit-window", "2ms", "-max-batch", "9",
+		"-max-body", "2048", "-data-dir", "/tmp/x", "-checkpoint-every", "64mb",
+		"-fsync", "interval", "-fsync-interval", "250ms",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := opts.serverConfig()
+	cfg, err := opts.serverConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if cfg.Engine.Workers != 3 {
 		t.Errorf("Workers = %d, want 3", cfg.Engine.Workers)
 	}
@@ -66,11 +72,67 @@ func TestServerConfig(t *testing.T) {
 	if !cfg.MagicDefault || cfg.QueueDepth != 7 || cfg.CommitWindow != 2*time.Millisecond || cfg.MaxBatch != 9 {
 		t.Errorf("queue config = %+v", cfg)
 	}
+	if cfg.MaxBodyBytes != 2048 || cfg.DataDir != "/tmp/x" ||
+		cfg.CheckpointBatches != 0 || cfg.CheckpointBytes != 64<<20 ||
+		cfg.Fsync != durable.FsyncInterval || cfg.FsyncInterval != 250*time.Millisecond {
+		t.Errorf("durable config = %+v", cfg)
+	}
 
-	// And the zero-flag path yields On toggles (flag defaults true).
+	// And the zero-flag path yields On toggles (flag defaults true) and
+	// the default durability knobs: always-fsync, 256-batch checkpoints.
 	var dft options
 	newFlags("serve", &dft).Parse(nil)
-	if c := dft.serverConfig(); c.Engine.Planner != engine.On || c.Engine.Frontier != engine.On || c.Engine.Sharding != engine.On {
+	c, err := dft.serverConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Engine.Planner != engine.On || c.Engine.Frontier != engine.On || c.Engine.Sharding != engine.On {
 		t.Errorf("default toggles = %+v, want all On", c.Engine)
+	}
+	if c.Fsync != durable.FsyncAlways || c.CheckpointBatches != 256 || c.CheckpointBytes != 0 {
+		t.Errorf("default durable config = %+v", c)
+	}
+}
+
+func TestParseCheckpointEvery(t *testing.T) {
+	cases := []struct {
+		in      string
+		batches int
+		bytes   int64
+		bad     bool
+	}{
+		{in: "256", batches: 256},
+		{in: "1", batches: 1},
+		{in: "4kb", bytes: 4 << 10},
+		{in: "64MB", bytes: 64 << 20},
+		{in: "2gb", bytes: 2 << 30},
+		{in: "", batches: 0, bytes: 0},
+		{in: "0", bad: true},
+		{in: "-3", bad: true},
+		{in: "10tb", bad: true},
+		{in: "lots", bad: true},
+	}
+	for _, c := range cases {
+		batches, bytes, err := parseCheckpointEvery(c.in)
+		if c.bad {
+			if err == nil {
+				t.Errorf("parseCheckpointEvery(%q): no error", c.in)
+			}
+			continue
+		}
+		if err != nil || batches != c.batches || bytes != c.bytes {
+			t.Errorf("parseCheckpointEvery(%q) = (%d, %d, %v), want (%d, %d)",
+				c.in, batches, bytes, err, c.batches, c.bytes)
+		}
+	}
+}
+
+// TestHTTPServerTimeouts pins the hardened listener: no timeout may be
+// left at zero, where one stalled client holds a connection forever.
+func TestHTTPServerTimeouts(t *testing.T) {
+	hs := newHTTPServer(":0", nil)
+	if hs.ReadHeaderTimeout <= 0 || hs.ReadTimeout <= 0 || hs.WriteTimeout <= 0 || hs.IdleTimeout <= 0 {
+		t.Errorf("timeouts = header %v, read %v, write %v, idle %v; all must be positive",
+			hs.ReadHeaderTimeout, hs.ReadTimeout, hs.WriteTimeout, hs.IdleTimeout)
 	}
 }

@@ -1,0 +1,350 @@
+package durable
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graphs"
+	"repro/internal/incr"
+	"repro/internal/parser"
+)
+
+const winSrc = "win(X) :- E(X,Y), !win(Y)."
+
+// mustMaintainer builds an inflationary win-move maintainer over a
+// small graph — the replay strategy, the one with the most checkpoint
+// structure (stage log).
+func mustMaintainer(t *testing.T, sem core.Semantics) *incr.Maintainer {
+	t.Helper()
+	prog := parser.MustProgram(winSrc)
+	db := graphs.Random(rand.New(rand.NewSource(7)), 6, 0.4).Database()
+	m, err := incr.New(prog, db, sem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, sem := range []core.Semantics{core.Inflationary, core.WellFounded} {
+		t.Run(sem.String(), func(t *testing.T) {
+			m := mustMaintainer(t, sem)
+			if _, err := m.Update([]incr.Fact{{Pred: "E", Args: []string{"v0", "v5"}}}, nil); err != nil {
+				t.Fatal(err)
+			}
+			cp := m.Checkpoint()
+			var buf bytes.Buffer
+			if err := WriteSnapshot(&buf, cp); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := incr.Restore(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Gen() != m.Gen() || r.Stages() != m.Stages() {
+				t.Fatalf("restored gen/stages %d/%d, want %d/%d", r.Gen(), r.Stages(), m.Gen(), m.Stages())
+			}
+			want := m.State().Format(m.Universe())
+			have := r.State().Format(r.Universe())
+			if want != have {
+				t.Fatalf("state after snapshot round trip:\n%s\nwant:\n%s", have, want)
+			}
+			// The restored maintainer must behave identically under a
+			// further update.
+			ins := []incr.Fact{{Pred: "E", Args: []string{"v5", "v0"}}}
+			if _, err := m.Update(ins, nil); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := r.Update(ins, nil); err != nil {
+				t.Fatal(err)
+			}
+			if m.State().Format(m.Universe()) != r.State().Format(r.Universe()) {
+				t.Fatal("restored maintainer diverged on the first post-restore update")
+			}
+		})
+	}
+}
+
+func TestSnapshotRejectsDamage(t *testing.T) {
+	m := mustMaintainer(t, core.Inflationary)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, m.Checkpoint()); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	t.Run("version-skew", func(t *testing.T) {
+		bad := append([]byte{}, good...)
+		bad[7] = '9' // magic "dlsnap01" -> "dlsnap09"
+		if _, err := ReadSnapshot(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "version skew") {
+			t.Errorf("want version-skew error, got %v", err)
+		}
+	})
+	t.Run("checksum-mismatch", func(t *testing.T) {
+		// Flipping any byte of the gzip stream breaks either the gzip
+		// CRC or a section CRC; both must reject.
+		bad := append([]byte{}, good...)
+		bad[len(bad)/2] ^= 0xFF
+		if _, err := ReadSnapshot(bytes.NewReader(bad)); err == nil {
+			t.Error("corrupted snapshot accepted")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := ReadSnapshot(bytes.NewReader(good[:len(good)-3])); err == nil {
+			t.Error("truncated snapshot accepted")
+		}
+	})
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		{},
+		{Ins: []incr.Fact{{Pred: "E", Args: []string{"a", "b"}}}},
+		{
+			Ins: []incr.Fact{{Pred: "E", Args: []string{"a", "b"}}, {Pred: "F", Args: nil}},
+			Del: []incr.Fact{{Pred: "E", Args: []string{"", "long constant with spaces"}}},
+		},
+	}
+	for _, rec := range recs {
+		got, err := DecodeRecord(EncodeRecord(&rec))
+		if err != nil {
+			t.Fatalf("%+v: %v", rec, err)
+		}
+		if !reflect.DeepEqual(*got, rec) {
+			t.Errorf("round trip changed record: %+v -> %+v", rec, *got)
+		}
+	}
+}
+
+// openStore opens a store on dir with fsync=always, failing the test on
+// error.
+func openStore(t *testing.T, dir string) (*Store, *RecoveryInfo) {
+	t.Helper()
+	s, info, err := Open(dir, FsyncAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, info
+}
+
+func TestStoreAppendRecover(t *testing.T) {
+	dir := t.TempDir()
+	s, info := openStore(t, dir)
+	if info.Checkpoint != nil || len(info.Records) != 0 {
+		t.Fatalf("fresh dir recovered state: %+v", info)
+	}
+	want := []Record{
+		{Ins: []incr.Fact{{Pred: "E", Args: []string{"a", "b"}}}},
+		{Del: []incr.Fact{{Pred: "E", Args: []string{"a", "b"}}}},
+	}
+	for i := range want {
+		if _, err := s.Append(&want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.WALRecords != 2 || st.WALBytes == 0 || st.WALSegments != 1 {
+		t.Fatalf("stats after 2 appends: %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(&want[0]); err != ErrClosed {
+		t.Fatalf("append after close: %v", err)
+	}
+
+	s2, info2 := openStore(t, dir)
+	defer s2.Close()
+	if !reflect.DeepEqual(info2.Records, want) {
+		t.Fatalf("recovered %+v, want %+v", info2.Records, want)
+	}
+	if info2.TruncatedBytes != 0 {
+		t.Fatalf("clean log reported %d truncated bytes", info2.TruncatedBytes)
+	}
+}
+
+func TestStoreTornTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	rec := Record{Ins: []incr.Fact{{Pred: "E", Args: []string{"a", "b"}}}}
+	if _, err := s.Append(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: garbage after the valid record.
+	seg := filepath.Join(dir, "wal-0000000000000001.log")
+	f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x10, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, info := openStore(t, dir)
+	defer s2.Close()
+	if len(info.Records) != 1 || !reflect.DeepEqual(info.Records[0], rec) {
+		t.Fatalf("recovered %+v, want the one valid record", info.Records)
+	}
+	if info.TruncatedBytes != 6 {
+		t.Errorf("truncated %d bytes, want 6", info.TruncatedBytes)
+	}
+	// The truncation is physical: a third open sees a clean log.
+	s2.Close()
+	s3, info3 := openStore(t, dir)
+	defer s3.Close()
+	if info3.TruncatedBytes != 0 || len(info3.Records) != 1 {
+		t.Fatalf("truncation did not persist: %+v", info3)
+	}
+}
+
+func TestStoreChecksumMismatchDropsTail(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	recA := Record{Ins: []incr.Fact{{Pred: "E", Args: []string{"a", "b"}}}}
+	recB := Record{Ins: []incr.Fact{{Pred: "E", Args: []string{"c", "d"}}}}
+	if _, err := s.Append(&recA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(&recB); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Flip one payload byte of the LAST record: its CRC mismatches, so
+	// recovery keeps only the first.
+	seg := filepath.Join(dir, "wal-0000000000000001.log")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, info := openStore(t, dir)
+	defer s2.Close()
+	if len(info.Records) != 1 || !reflect.DeepEqual(info.Records[0], recA) {
+		t.Fatalf("recovered %+v, want only the intact first record", info.Records)
+	}
+	if info.TruncatedBytes == 0 {
+		t.Error("corrupt tail reported zero truncated bytes")
+	}
+}
+
+func TestStoreSegmentVersionSkew(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	s.Close()
+	seg := filepath.Join(dir, "wal-0000000000000001.log")
+	if err := os.WriteFile(seg, []byte("dlwal999"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, FsyncAlways, 0); err == nil || !strings.Contains(err.Error(), "version skew") {
+		t.Fatalf("want version-skew error, got %v", err)
+	}
+}
+
+func TestStoreRotateAndCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	defer s.Close()
+
+	m := mustMaintainer(t, core.Inflationary)
+	rec := Record{Ins: []incr.Fact{{Pred: "E", Args: []string{"v0", "v5"}}}}
+	if _, err := s.Append(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Update(rec.Ins, rec.Del); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	cp := m.Checkpoint()
+	after := Record{Ins: []incr.Fact{{Pred: "E", Args: []string{"v5", "v1"}}}}
+	if _, err := s.Append(&after); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.WALSegments != 1 || st.WALRecords != 1 {
+		t.Fatalf("stats after checkpoint: %+v (want 1 segment, 1 record)", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "wal-0000000000000001.log")); !os.IsNotExist(err) {
+		t.Error("covered segment not deleted after checkpoint")
+	}
+
+	// Recovery: snapshot + the post-rotation suffix only.
+	s.Close()
+	s2, info := openStore(t, dir)
+	defer s2.Close()
+	if info.Checkpoint == nil {
+		t.Fatal("no checkpoint recovered")
+	}
+	if !reflect.DeepEqual(info.Records, []Record{after}) {
+		t.Fatalf("recovered suffix %+v, want only the post-rotation record", info.Records)
+	}
+	r, err := incr.Restore(info.Checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rr := range info.Records {
+		if _, err := r.Update(rr.Ins, rr.Del); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Update(after.Ins, after.Del); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.State().Format(r.Universe()), m.State().Format(m.Universe()); got != want {
+		t.Fatalf("recovered state:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestStoreIntervalPolicy(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, FsyncInterval, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(&Record{Ins: []incr.Fact{{Pred: "E", Args: []string{"a", "b"}}}}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(40 * time.Millisecond) // let the syncer run at least once
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, info := openStore(t, dir)
+	if len(info.Records) != 1 {
+		t.Fatalf("recovered %d records, want 1", len(info.Records))
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for _, p := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncOff} {
+		got, err := ParseFsyncPolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParseFsyncPolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}

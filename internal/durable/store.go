@@ -1,0 +1,494 @@
+// store.go — the on-disk layout and lifecycle.
+//
+// A data directory holds at most one snapshot plus a sequence of WAL
+// segments:
+//
+//	snapshot.bin    latest checkpoint (atomically replaced)
+//	snapshot.tmp    in-flight checkpoint write (discarded on boot)
+//	wal-<seq>.log   update batches committed after snapshot.bin
+//
+// The protocols:
+//
+//	append     frame the record, write, fsync per policy.  The caller
+//	           (the server's committer) answers clients only after
+//	           Append returns, so acknowledged implies durable under
+//	           the "always" policy.
+//	checkpoint Rotate() seals the active segment and opens the next
+//	           one while the caller captures a sealed state image in
+//	           the same critical section; WriteCheckpoint() then —
+//	           off the commit path — streams the image to
+//	           snapshot.tmp, fsyncs, renames over snapshot.bin,
+//	           fsyncs the directory, and deletes the covered
+//	           segments.  A crash between rename and deletion only
+//	           leaves segments whose records the snapshot already
+//	           contains; replaying them is idempotent (EDB updates
+//	           are set-semantics, last-op-wins per tuple).
+//	recover    read snapshot.bin if present, then every segment in
+//	           sequence order.  The final segment's torn tail (a
+//	           crash mid-append) is truncated at the last valid
+//	           record; corruption in the middle of the history is an
+//	           error.  A fresh active segment is always opened after
+//	           the highest existing one, so recovery never appends to
+//	           a file it also truncated.
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/incr"
+)
+
+const (
+	snapName    = "snapshot.bin"
+	snapTmpName = "snapshot.tmp"
+)
+
+// FsyncPolicy selects when WAL appends reach stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs after every append: acknowledged implies
+	// durable, at one fsync per commit batch.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs on a timer: a crash loses at most the last
+	// interval of acknowledged batches, never consistency (the torn
+	// tail truncates cleanly).
+	FsyncInterval
+	// FsyncOff leaves syncing to the OS: fastest, loses whatever the
+	// page cache held.  Recovery is still exact up to the surviving
+	// prefix.
+	FsyncOff
+)
+
+// ParseFsyncPolicy maps the -fsync flag values to a policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "off":
+		return FsyncOff, nil
+	}
+	return 0, fmt.Errorf("durable: unknown fsync policy %q (want always, interval, or off)", s)
+}
+
+// String names the policy, inverse of ParseFsyncPolicy.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncOff:
+		return "off"
+	}
+	return "unknown"
+}
+
+// RecoveryInfo reports what Open found on disk.
+type RecoveryInfo struct {
+	// Checkpoint is the parsed snapshot, nil when the directory had
+	// none (fresh start or WAL-only history).
+	Checkpoint *incr.Checkpoint
+	// Records is the WAL suffix to replay after restoring Checkpoint,
+	// in commit order.
+	Records []Record
+	// TruncatedBytes counts torn-tail bytes dropped from the final
+	// segment.
+	TruncatedBytes int64
+	// Segments counts the WAL segment files scanned.
+	Segments int
+}
+
+// Store owns a data directory: the active WAL segment, the recovered
+// history, and the checkpoint replacement protocol.  Append and Rotate
+// are safe for concurrent use; WriteCheckpoint runs concurrently with
+// both.
+type Store struct {
+	dir      string
+	policy   FsyncPolicy
+	interval time.Duration
+
+	mu         sync.Mutex
+	f          *os.File // active segment
+	seq        uint64   // active segment sequence number
+	dirty      bool     // unsynced appends (interval policy)
+	closed     bool
+	walBytes   int64            // record bytes across live segments
+	walRecords int64            // records across live segments
+	segs       map[uint64]int64 // live segment -> record bytes (for deletion accounting)
+	segRecs    map[uint64]int64
+
+	stop chan struct{} // interval syncer shutdown
+	done chan struct{}
+}
+
+// StoreStats is a point-in-time accounting snapshot.
+type StoreStats struct {
+	WALBytes    int64
+	WALRecords  int64
+	WALSegments int
+	FsyncPolicy string
+}
+
+// ErrClosed reports an operation on a closed store.
+var ErrClosed = errors.New("durable: store is closed")
+
+// Open opens (creating if needed) a data directory, recovers its
+// history, and leaves the store ready for appends on a fresh segment.
+func Open(dir string, policy FsyncPolicy, interval time.Duration) (*Store, *RecoveryInfo, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	// A leftover snapshot.tmp is an interrupted checkpoint write:
+	// snapshot.bin is still the authoritative one.
+	_ = os.Remove(filepath.Join(dir, snapTmpName))
+
+	s := &Store{
+		dir:      dir,
+		policy:   policy,
+		interval: interval,
+		segs:     make(map[uint64]int64),
+		segRecs:  make(map[uint64]int64),
+	}
+	info := &RecoveryInfo{}
+
+	if f, err := os.Open(filepath.Join(dir, snapName)); err == nil {
+		cp, rerr := ReadSnapshot(f)
+		f.Close()
+		if rerr != nil {
+			return nil, nil, fmt.Errorf("durable: %s: %w", snapName, rerr)
+		}
+		info.Checkpoint = cp
+	} else if !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+
+	seqs, err := s.listSegments()
+	if err != nil {
+		return nil, nil, err
+	}
+	info.Segments = len(seqs)
+	maxSeq := uint64(0)
+	for i, seq := range seqs {
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		recs, bytes, truncated, err := s.replaySegment(seq, i == len(seqs)-1)
+		if err != nil {
+			return nil, nil, err
+		}
+		info.Records = append(info.Records, recs...)
+		info.TruncatedBytes += truncated
+		s.segs[seq] = bytes
+		s.segRecs[seq] = int64(len(recs))
+		s.walBytes += bytes
+		s.walRecords += int64(len(recs))
+	}
+
+	s.seq = maxSeq + 1
+	if err := s.openSegment(); err != nil {
+		return nil, nil, err
+	}
+	if policy == FsyncInterval {
+		if interval <= 0 {
+			s.interval = time.Second
+		}
+		s.stop = make(chan struct{})
+		s.done = make(chan struct{})
+		go s.syncLoop()
+	}
+	return s, info, nil
+}
+
+// listSegments returns the existing segment sequence numbers, sorted.
+func (s *Store) listSegments() ([]uint64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 10, 64)
+		if err != nil {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// segPath names a segment file.
+func (s *Store) segPath(seq uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("wal-%016d.log", seq))
+}
+
+// replaySegment reads one segment's records.  last selects the
+// torn-tail policy: the final segment is truncated in place at the
+// last valid record; an earlier segment with a bad tail is corruption
+// in the middle of the history and fails recovery.
+func (s *Store) replaySegment(seq uint64, last bool) (recs []Record, liveBytes, truncated int64, err error) {
+	path := s.segPath(seq)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	size := st.Size()
+
+	var magic [len(walMagic)]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil || string(magic[:]) != walMagic {
+		if last && err != nil {
+			// A crash right at segment creation: nothing to replay.
+			return nil, 0, size, os.Truncate(path, 0)
+		}
+		return nil, 0, 0, fmt.Errorf("durable: %s is not a WAL segment (version skew?)", path)
+	}
+	valid := int64(len(walMagic))
+	for {
+		payload, err := readFrame(f)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if !last {
+				return nil, 0, 0, fmt.Errorf("durable: %s: corrupt record mid-history", path)
+			}
+			truncated = size - valid
+			if terr := os.Truncate(path, valid); terr != nil {
+				return nil, 0, 0, terr
+			}
+			break
+		}
+		rec, err := DecodeRecord(payload)
+		if err != nil {
+			if !last {
+				return nil, 0, 0, fmt.Errorf("durable: %s: %w", path, err)
+			}
+			truncated = size - valid
+			if terr := os.Truncate(path, valid); terr != nil {
+				return nil, 0, 0, terr
+			}
+			break
+		}
+		valid += int64(len(payload)) + 8
+		recs = append(recs, *rec)
+	}
+	return recs, valid - int64(len(walMagic)), truncated, nil
+}
+
+// openSegment creates the active segment file with its header.
+func (s *Store) openSegment() error {
+	f, err := os.OpenFile(s.segPath(s.seq), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(walMagic); err != nil {
+		f.Close()
+		return err
+	}
+	if s.policy == FsyncAlways {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := syncDir(s.dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	s.f = f
+	s.segs[s.seq] = 0
+	s.segRecs[s.seq] = 0
+	return nil
+}
+
+// Append durably logs one committed batch, returning the framed size.
+// Under FsyncAlways the record has reached stable storage when Append
+// returns.
+func (s *Store) Append(rec *Record) (int64, error) {
+	payload := EncodeRecord(rec)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	n, err := writeFrame(s.f, payload)
+	if err != nil {
+		return 0, err
+	}
+	if s.policy == FsyncAlways {
+		if err := s.f.Sync(); err != nil {
+			return 0, err
+		}
+	} else {
+		s.dirty = true
+	}
+	s.segs[s.seq] += n
+	s.segRecs[s.seq]++
+	s.walBytes += n
+	s.walRecords++
+	return n, nil
+}
+
+// Rotate seals the active segment and opens the next one.  Callers
+// capture their state image under the same lock that serializes their
+// Appends, immediately after Rotate returns: everything logged before
+// the rotation is then covered by that image, and WriteCheckpoint may
+// delete the sealed segments once the image is on disk.
+func (s *Store) Rotate() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	s.seq++
+	return s.openSegment()
+}
+
+// WriteCheckpoint atomically replaces the snapshot with cp and deletes
+// the WAL segments it covers (every sealed segment).  It runs off the
+// commit path: appends to the active segment proceed concurrently.
+func (s *Store) WriteCheckpoint(cp *incr.Checkpoint) error {
+	tmp := filepath.Join(s.dir, snapTmpName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := WriteSnapshot(f, cp); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapName)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+
+	// The snapshot is durable: sealed segments are now redundant.
+	s.mu.Lock()
+	active := s.seq
+	var covered []uint64
+	for seq := range s.segs {
+		if seq < active {
+			covered = append(covered, seq)
+		}
+	}
+	for _, seq := range covered {
+		s.walBytes -= s.segs[seq]
+		s.walRecords -= s.segRecs[seq]
+		delete(s.segs, seq)
+		delete(s.segRecs, seq)
+	}
+	s.mu.Unlock()
+	for _, seq := range covered {
+		if err := os.Remove(s.segPath(seq)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns the live WAL accounting.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		WALBytes:    s.walBytes,
+		WALRecords:  s.walRecords,
+		WALSegments: len(s.segs), // sealed live segments + active
+		FsyncPolicy: s.policy.String(),
+	}
+}
+
+// Close flushes and closes the active segment.  Appends after Close
+// fail with ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.mu.Unlock()
+	if s.stop != nil {
+		close(s.stop)
+		<-s.done
+	}
+	return err
+}
+
+// syncLoop services the interval fsync policy.
+func (s *Store) syncLoop() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			if !s.closed && s.dirty {
+				s.f.Sync()
+				s.dirty = false
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// syncDir fsyncs a directory, making renames and creations in it
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,241 @@
+// durable.go — checkpoint capture and restore.
+//
+// A Checkpoint is everything a Maintainer needs to come back without
+// re-running the fixpoint: the program, the universe, the EDB and the
+// materialized IDB state, plus the small strategy-specific extras —
+// the per-stage lengths of the inflationary replay log and the
+// possibly-true relations of the well-founded model.  Everything else
+// the strategies keep (stratum engine instances, support counts) is
+// recomputed cheaply and exactly from that state on restore:
+//
+//   - strata: counts are seeded by one ApplyCount pass per
+//     nonrecursive stratum.  The counting invariant says maintained
+//     counts always equal the exact derivation counts at the current
+//     state, so recomputing them from the restored state is bit-exact.
+//   - replay: every logged stage is, by the monotone-append invariant
+//     of the fixpoint loops, a length-prefix of the final state
+//     relation's arena in insertion order.  The checkpoint therefore
+//     stores only the per-stage lengths and restore rebuilds each
+//     stage as an O(1) relation.Prefix view.
+//   - well-founded: the three-valued model is its two relations.
+//
+// The relations inside a Checkpoint captured from a live Maintainer
+// are sealed snapshot views: Checkpoint() is cheap and the caller may
+// serialize the result on another goroutine while the maintainer keeps
+// updating.
+package incr
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/relation"
+	"repro/internal/semantics"
+)
+
+// Checkpoint is a self-contained restorable image of a Maintainer.
+type Checkpoint struct {
+	Prog     *ast.Program
+	Sem      core.Semantics
+	Gen      uint64
+	Universe *relation.Universe
+
+	// EDBNames lists the EDB relations in database insertion order;
+	// restore re-creates them in the same order so a restored
+	// maintainer serializes identically to the original.
+	EDBNames []string
+	EDB      map[string]*relation.Relation
+	IDB      map[string]*relation.Relation
+
+	// StageLens holds, per logged inflationary stage, each IDB
+	// relation's length at that stage (replay strategy only).
+	StageLens []map[string]int
+
+	// Possible holds the possibly-true relations of the well-founded
+	// model (WellFounded semantics only).
+	Possible map[string]*relation.Relation
+}
+
+// Checkpoint captures the maintainer's current state as sealed O(1)
+// snapshot views.  Like Update and Snapshot it must be called from the
+// maintainer's goroutine; the returned checkpoint may then be read —
+// serialized, restored — from any goroutine while updates continue.
+func (m *Maintainer) Checkpoint() *Checkpoint {
+	cp := &Checkpoint{
+		Prog:     m.prog,
+		Sem:      m.sem,
+		Gen:      m.gen,
+		Universe: m.db.Universe().Clone(),
+		EDB:      make(map[string]*relation.Relation),
+		IDB:      make(map[string]*relation.Relation, len(m.state)),
+	}
+	for _, name := range m.db.Names() {
+		if m.idb[name] {
+			continue // strata install IDB results into the database too
+		}
+		r := m.db.Relation(name)
+		cp.EDBNames = append(cp.EDBNames, name)
+		cp.EDB[name] = r.Snapshot()
+		r.Seal()
+	}
+	for pred, r := range m.state {
+		cp.IDB[pred] = r.Snapshot()
+		r.Seal()
+	}
+	if m.strat == stratReplay {
+		cp.StageLens = make([]map[string]int, len(m.log))
+		for j, st := range m.log {
+			lens := make(map[string]int, len(st))
+			for pred, r := range st {
+				lens[pred] = r.Len()
+			}
+			cp.StageLens[j] = lens
+		}
+	}
+	if m.wf != nil {
+		cp.Possible = make(map[string]*relation.Relation, len(m.wf.Possible))
+		for pred, r := range m.wf.Possible {
+			cp.Possible[pred] = r.Snapshot()
+			r.Seal()
+		}
+	}
+	return cp
+}
+
+// Restore rebuilds a ready Maintainer from a checkpoint without
+// re-running the fixpoint.
+func Restore(cp *Checkpoint) (*Maintainer, error) {
+	return RestoreWith(cp, engine.Options{})
+}
+
+// RestoreWith is Restore with per-call engine options, mirroring
+// NewWith.  The checkpoint is not consumed: its relations are cloned
+// or re-sealed as needed, so the same checkpoint can be restored more
+// than once.
+func RestoreWith(cp *Checkpoint, opts engine.Options) (*Maintainer, error) {
+	arities, err := cp.Prog.Validate()
+	if err != nil {
+		return nil, err
+	}
+	m := &Maintainer{
+		prog:    cp.Prog,
+		sem:     cp.Sem,
+		opts:    opts,
+		db:      relation.NewDatabaseOn(cp.Universe.Clone()),
+		arities: arities,
+		idb:     cp.Prog.IDB(),
+		gen:     cp.Gen,
+		safe:    allVarsPositive(cp.Prog),
+	}
+	for _, name := range cp.EDBNames {
+		r, ok := cp.EDB[name]
+		if !ok {
+			return nil, fmt.Errorf("incr: checkpoint lists EDB relation %s but does not carry it", name)
+		}
+		m.db.Set(name, r.Mutable())
+	}
+
+	class := cp.Prog.Classify()
+	switch cp.Sem {
+	case core.LFP:
+		if class != ast.ClassPositive && class != ast.ClassSemipositive {
+			return nil, fmt.Errorf("incr: least fixpoint maintenance requires a positive or semipositive program; this one is %v", class)
+		}
+		m.strat = stratStrata
+	case core.Stratified:
+		if _, err := cp.Prog.Stratify(); err != nil {
+			return nil, err
+		}
+		m.strat = stratStrata
+	case core.Inflationary:
+		if class == ast.ClassPositive || class == ast.ClassSemipositive {
+			m.strat = stratStrata
+		} else {
+			m.strat = stratReplay
+		}
+	case core.WellFounded:
+		m.strat = stratWF
+	default:
+		return nil, fmt.Errorf("incr: unknown semantics %v", cp.Sem)
+	}
+
+	idbRel := func(pred string) (*relation.Relation, error) {
+		if r, ok := cp.IDB[pred]; ok {
+			if ar, ok := arities[pred]; ok && r.Arity() != ar {
+				return nil, fmt.Errorf("incr: checkpoint relation %s has arity %d, program wants %d", pred, r.Arity(), ar)
+			}
+			return r.Mutable(), nil
+		}
+		ar, ok := arities[pred]
+		if !ok {
+			return nil, fmt.Errorf("incr: checkpoint missing IDB relation %s with unknown arity", pred)
+		}
+		return relation.New(ar), nil
+	}
+
+	switch m.strat {
+	case stratStrata:
+		if err := m.initStrata(); err != nil {
+			return nil, err
+		}
+		// Install the restored IDB stratum by stratum, exactly as
+		// evalStrata installs computed results, and reseed the support
+		// counts of each nonrecursive stratum from the restored state:
+		// the counting invariant makes the recomputation bit-exact.
+		m.state = make(engine.State)
+		for _, s := range m.strata {
+			st := make(engine.State, len(s.preds))
+			for pred := range s.preds {
+				rel, err := idbRel(pred)
+				if err != nil {
+					return nil, err
+				}
+				m.db.Set(pred, rel)
+				m.state[pred] = rel
+				st[pred] = rel
+			}
+			if !s.recursive {
+				s.seedCounts(st)
+			}
+		}
+	case stratReplay, stratWF:
+		in, err := engine.NewWith(cp.Prog, m.db, opts)
+		if err != nil {
+			return nil, err
+		}
+		m.in = in
+		m.state = in.NewState()
+		for pred := range m.state {
+			rel, err := idbRel(pred)
+			if err != nil {
+				return nil, err
+			}
+			m.state[pred] = rel
+		}
+		if m.strat == stratReplay {
+			m.log = make([]engine.State, len(cp.StageLens))
+			for j, lens := range cp.StageLens {
+				st := make(engine.State, len(m.state))
+				for pred, r := range m.state {
+					n := lens[pred]
+					if n > r.Len() {
+						return nil, fmt.Errorf("incr: checkpoint stage %d wants %d tuples of %s, state has %d", j, n, pred, r.Len())
+					}
+					st[pred] = r.Prefix(n)
+				}
+				m.log[j] = st
+			}
+		} else {
+			poss := in.NewState()
+			for pred := range poss {
+				if r, ok := cp.Possible[pred]; ok {
+					poss[pred] = r.Mutable()
+				}
+			}
+			m.wf = &semantics.WFResult{True: m.state, Possible: poss}
+		}
+	}
+	return m, nil
+}

@@ -109,6 +109,70 @@ func mix64(k uint64) uint64 {
 	return k ^ k>>31
 }
 
+// PackKey returns the packed uint64 key of t and true when t fits the
+// packed encoding, or 0 and false when it must spill.  The packed key
+// is the storage-layer serialization of the tuple: within a fixed
+// arity it is injective, so a snapshot file can store 8 bytes per
+// tuple and recover the tuple exactly with UnpackKey.
+func PackKey(t Tuple) (uint64, bool) { return packKey(t) }
+
+// UnpackKey inverts PackKey for the given arity: it decodes the
+// fixed-width concatenation back into a fresh tuple.  The caller must
+// pass a key produced by PackKey for a tuple of the same arity;
+// UnpackKey(k, len(t)) of PackKey(t) = t for every packable t.
+func UnpackKey(key uint64, arity int) Tuple {
+	if arity <= 0 {
+		return Tuple{}
+	}
+	t := make(Tuple, arity)
+	bits := packBits(arity)
+	if bits >= 63 {
+		t[0] = int(key)
+		return t
+	}
+	mask := uint64(1)<<bits - 1
+	for i := arity - 1; i >= 0; i-- {
+		t[i] = int(key & mask)
+		key >>= bits
+	}
+	return t
+}
+
+// SpillKey returns the byte-string fallback encoding of t — the key of
+// the spill map — as a fresh byte slice.  Together with DecodeSpillKey
+// it is the wire form of tuples that do not pack: 4 bytes per element
+// big-endian when every element fits a uint32, 8 bytes otherwise, so
+// the length alone (relative to the arity) selects the width.
+func SpillKey(t Tuple) []byte { return []byte(spillKey(t)) }
+
+// DecodeSpillKey inverts SpillKey for the given arity.  It reports
+// false when the byte length matches neither the 4- nor the
+// 8-byte-per-element width (or arity 0 with non-empty bytes).
+func DecodeSpillKey(b []byte, arity int) (Tuple, bool) {
+	if arity < 0 {
+		return nil, false
+	}
+	switch {
+	case len(b) == 4*arity && (arity > 0 || len(b) == 0):
+		t := make(Tuple, arity)
+		for i := range t {
+			t[i] = int(binary.BigEndian.Uint32(b[4*i:]))
+		}
+		return t, true
+	case arity > 0 && len(b) == 8*arity:
+		t := make(Tuple, arity)
+		for i := range t {
+			v := binary.BigEndian.Uint64(b[8*i:])
+			t[i] = int(v)
+			if uint64(t[i]) != v {
+				return nil, false // overflows this platform's int
+			}
+		}
+		return t, true
+	}
+	return nil, false
+}
+
 // spillKey returns the byte-string fallback key for tuples that do not
 // pack into a uint64.
 func spillKey(t Tuple) string {

@@ -176,6 +176,25 @@ func (r *Relation) Snapshot() *Relation {
 	return r.view()
 }
 
+// Prefix returns an O(1) immutable view of the first n tuples in
+// insertion order, sharing storage with r exactly like Snapshot (key
+// entries at offsets ≥ n are invisible to the view).  It is how a
+// restored maintainer reconstructs its inflationary stage log: each
+// logged stage is, by the monotone-append invariant of the fixpoint
+// loops, a length-prefix of the final arena, so persisting the lengths
+// alone suffices.  It panics when n exceeds the current length.
+func (r *Relation) Prefix(n int) *Relation {
+	if n < 0 || n > len(r.arena) {
+		panic(fmt.Sprintf("relation: prefix %d of relation with %d tuples", n, len(r.arena)))
+	}
+	if !r.frozen && r.share == shareNone {
+		r.share = shareWeak
+	}
+	v := r.view()
+	v.arena = v.arena[:n:n]
+	return v
+}
+
 // Seal marks the relation's storage as published: the next mutation —
 // including appends — will copy the storage, leaving the current arena
 // and key maps exclusively to existing snapshots.  Call it after

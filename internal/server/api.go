@@ -9,6 +9,7 @@
 //
 //	400 bad_request    malformed JSON, wrong arity, magic unsupported
 //	404 not_found      unknown relation
+//	413 too_large      request body over Config.MaxBodyBytes
 //	422 unprocessable  valid shape the engine rejects (IDB update,
 //	                   insert+delete conflict, rewrite failure)
 //	429 overloaded     update queue full (Retry-After is set)
@@ -26,6 +27,7 @@ import (
 const (
 	CodeBadRequest    = "bad_request"
 	CodeNotFound      = "not_found"
+	CodeTooLarge      = "too_large"
 	CodeUnprocessable = "unprocessable"
 	CodeOverloaded    = "overloaded"
 	CodeUnavailable   = "unavailable"
@@ -147,6 +149,24 @@ type EngineMetrics struct {
 	FrontierFilterRate   float64 `json:"frontier_filter_hit_rate"`
 }
 
+// DurableMetrics reports the persistence layer: WAL volume since the
+// last checkpoint, checkpoint cadence, and what boot recovery did.
+// Present in /v1/metrics only when the server runs with a data dir.
+type DurableMetrics struct {
+	FsyncPolicy             string  `json:"fsync_policy"`
+	WALBytes                int64   `json:"wal_bytes"`
+	WALRecords              int64   `json:"wal_records"`
+	WALSegments             int     `json:"wal_segments"`
+	AppendErrors            int64   `json:"append_errors"`
+	Checkpoints             int64   `json:"checkpoints"`
+	CheckpointErrors        int64   `json:"checkpoint_errors"`
+	LastCheckpointAgeSec    float64 `json:"last_checkpoint_age_sec,omitempty"`
+	LastCheckpointDurMs     float64 `json:"last_checkpoint_dur_ms,omitempty"`
+	RecoveredSnapshot       bool    `json:"recovered_snapshot"`
+	RecoveryReplayedRecords int     `json:"recovery_replayed_records"`
+	RecoveryDurMs           float64 `json:"recovery_dur_ms"`
+}
+
 // LatencyMetrics are microsecond latency estimates for one endpoint
 // (percentiles carry the histogram's ≤25% bucket error).
 type LatencyMetrics struct {
@@ -173,6 +193,7 @@ type MetricsResponse struct {
 	RewriteCache   CacheMetrics               `json:"rewrite_cache"`
 	Partition      PartitionMetrics           `json:"partition"`
 	Engine         EngineMetrics              `json:"engine"`
+	Durable        *DurableMetrics            `json:"durable,omitempty"`
 	Endpoints      map[string]EndpointMetrics `json:"endpoints"`
 }
 

@@ -1,0 +1,207 @@
+// durable.go — persistence wiring: recovery at boot, the WAL append
+// on the commit path, and background checkpointing.
+//
+// With Config.DataDir set, the server's lifecycle becomes
+//
+//	recover   Open the store; restore the snapshot into a ready
+//	          maintainer (no fixpoint re-run) and replay the WAL
+//	          suffix through it; write a fresh checkpoint so the next
+//	          boot replays nothing it does not have to.
+//	serve     every maintainer pass appends its batch to the WAL
+//	          before the snapshot is published and callers are
+//	          answered: acknowledged implies logged (and, under
+//	          -fsync=always, durable).
+//	checkpoint after CheckpointBatches passes or CheckpointBytes of
+//	          WAL, the committer's caller rotates the WAL and captures
+//	          a sealed O(1) state image under the maintainer lock,
+//	          then streams it to disk off the commit path; the store
+//	          atomically replaces the snapshot and deletes the covered
+//	          segments.  Readers and the queue never stall.
+//	shutdown  Close flushes and closes the WAL after the committer
+//	          drains.
+package server
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/incr"
+	"repro/internal/relation"
+)
+
+// durState is the server's durability runtime: the store plus the
+// counters behind the /v1/metrics durable block.
+type durState struct {
+	store *durable.Store
+
+	// Checkpoint triggers, reset when one is captured.
+	sinceBatches atomic.Int64
+	sinceBytes   atomic.Int64
+
+	inFlight     atomic.Bool // one background checkpoint at a time
+	appendErrors atomic.Int64
+	checkpoints  atomic.Int64
+	ckptErrors   atomic.Int64
+	lastCkptNano atomic.Int64
+	lastCkptDur  atomic.Int64 // nanoseconds
+
+	// Recovery facts, fixed at boot.
+	recoveredSnapshot bool
+	replayedRecords   int
+	recoveryDur       time.Duration
+}
+
+// recoverMaintainer builds the boot maintainer for a durable server:
+// restore the snapshot if one exists (otherwise evaluate prog over the
+// seed db), replay the WAL suffix, and checkpoint so the recovered
+// history is compacted.  The seed db must be the same one every boot
+// (cmd/serve reloads the same facts file); with a snapshot present it
+// is ignored entirely.
+func recoverMaintainer(prog *ast.Program, db *relation.Database, sem core.Semantics, cfg Config) (*incr.Maintainer, *durState, error) {
+	st, info, err := durable.Open(cfg.DataDir, cfg.Fsync, cfg.FsyncInterval)
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	var m *incr.Maintainer
+	if cp := info.Checkpoint; cp != nil {
+		if got, want := cp.Prog.String(), prog.String(); got != want {
+			st.Close()
+			return nil, nil, fmt.Errorf("server: data dir %s holds a different program; refusing to mix histories", cfg.DataDir)
+		}
+		if cp.Sem != sem {
+			st.Close()
+			return nil, nil, fmt.Errorf("server: data dir %s was written under %s semantics, not %s", cfg.DataDir, cp.Sem, sem)
+		}
+		m, err = incr.RestoreWith(cp, cfg.Engine)
+	} else {
+		m, err = incr.NewWith(prog, db, sem, cfg.Engine)
+	}
+	if err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	for i, rec := range info.Records {
+		if _, err := m.Update(rec.Ins, rec.Del); err != nil {
+			st.Close()
+			return nil, nil, fmt.Errorf("server: replaying WAL record %d/%d: %w", i+1, len(info.Records), err)
+		}
+	}
+	d := &durState{
+		store:             st,
+		recoveredSnapshot: info.Checkpoint != nil,
+		replayedRecords:   len(info.Records),
+		recoveryDur:       time.Since(start),
+	}
+	// Compact at boot: a fresh dir gets its first snapshot (so the
+	// durable history is self-contained from generation zero), a dir
+	// with a replayed suffix gets one that absorbs it.
+	if info.Checkpoint == nil || len(info.Records) > 0 {
+		ckStart := time.Now()
+		if err := st.WriteCheckpoint(m.Checkpoint()); err != nil {
+			st.Close()
+			return nil, nil, fmt.Errorf("server: boot checkpoint: %w", err)
+		}
+		d.checkpoints.Add(1)
+		d.lastCkptNano.Store(time.Now().UnixNano())
+		d.lastCkptDur.Store(int64(time.Since(ckStart)))
+	}
+	return m, d, nil
+}
+
+// logBatch appends one committed batch to the WAL.  Called with s.mu
+// held, after the maintainer pass succeeded and before the snapshot is
+// published: the committer answers callers only after the batch is
+// durable.  An append error is returned to the caller — the in-memory
+// state holds the batch, the log does not, and the caller must know
+// its acknowledgement would have lied.
+func (s *Server) logBatch(ins, del []incr.Fact) error {
+	if s.dur == nil {
+		return nil
+	}
+	n, err := s.dur.store.Append(&durable.Record{Ins: ins, Del: del})
+	if err != nil {
+		s.dur.appendErrors.Add(1)
+		return fmt.Errorf("server: WAL append: %w", err)
+	}
+	s.dur.sinceBatches.Add(1)
+	s.dur.sinceBytes.Add(n)
+	return nil
+}
+
+// maybeCheckpointAsync starts a background checkpoint when either
+// configured trigger has tripped.  Called after s.mu is released (the
+// capture below retakes it); at most one checkpoint runs at a time.
+func (s *Server) maybeCheckpointAsync() {
+	d := s.dur
+	if d == nil {
+		return
+	}
+	hit := (s.cfg.CheckpointBatches > 0 && d.sinceBatches.Load() >= int64(s.cfg.CheckpointBatches)) ||
+		(s.cfg.CheckpointBytes > 0 && d.sinceBytes.Load() >= s.cfg.CheckpointBytes)
+	if !hit || !d.inFlight.CompareAndSwap(false, true) {
+		return
+	}
+	go s.checkpointNow()
+}
+
+// checkpointNow rotates the WAL and captures a sealed state image
+// under the maintainer lock — O(1), the queue barely notices — then
+// writes and installs the snapshot off the commit path.
+func (s *Server) checkpointNow() {
+	d := s.dur
+	defer d.inFlight.Store(false)
+	start := time.Now()
+
+	s.mu.Lock()
+	err := d.store.Rotate()
+	var cp *incr.Checkpoint
+	if err == nil {
+		cp = s.m.Checkpoint()
+		d.sinceBatches.Store(0)
+		d.sinceBytes.Store(0)
+	}
+	s.mu.Unlock()
+
+	if err == nil {
+		err = d.store.WriteCheckpoint(cp)
+	}
+	if err != nil {
+		d.ckptErrors.Add(1)
+		return
+	}
+	d.checkpoints.Add(1)
+	d.lastCkptNano.Store(time.Now().UnixNano())
+	d.lastCkptDur.Store(int64(time.Since(start)))
+}
+
+// durableMetrics renders the /v1/metrics durable block, or nil when
+// persistence is off.
+func (s *Server) durableMetrics(now time.Time) *DurableMetrics {
+	d := s.dur
+	if d == nil {
+		return nil
+	}
+	st := d.store.Stats()
+	dm := &DurableMetrics{
+		FsyncPolicy:             st.FsyncPolicy,
+		WALBytes:                st.WALBytes,
+		WALRecords:              st.WALRecords,
+		WALSegments:             st.WALSegments,
+		AppendErrors:            d.appendErrors.Load(),
+		Checkpoints:             d.checkpoints.Load(),
+		CheckpointErrors:        d.ckptErrors.Load(),
+		RecoveredSnapshot:       d.recoveredSnapshot,
+		RecoveryReplayedRecords: d.replayedRecords,
+		RecoveryDurMs:           float64(d.recoveryDur) / float64(time.Millisecond),
+	}
+	if nano := d.lastCkptNano.Load(); nano > 0 {
+		dm.LastCheckpointAgeSec = now.Sub(time.Unix(0, nano)).Seconds()
+		dm.LastCheckpointDurMs = float64(d.lastCkptDur.Load()) / float64(time.Millisecond)
+	}
+	return dm
+}

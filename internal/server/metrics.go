@@ -136,6 +136,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		resp.Engine.FrontierFilterRate = float64(fs) / float64(fp)
 	}
 
+	resp.Durable = s.durableMetrics(now)
+
 	for name, ep := range s.met.endpoints {
 		resp.Endpoints[name] = EndpointMetrics{
 			Requests: ep.Requests.Load(),

@@ -280,10 +280,17 @@ func coalesce(batch []*updateJob) (ins, del []incr.Fact) {
 
 // Close stops the committer: queued-but-uncommitted jobs and all later
 // updates fail with ErrClosed (503 over HTTP).  Reads keep working
-// from the last published snapshot.  Safe to call more than once.
+// from the last published snapshot.  With durability on, the WAL is
+// flushed and closed after the committer drains, so every acknowledged
+// batch is on disk when Close returns.  Safe to call more than once.
 func (s *Server) Close() {
 	if s.closed.CompareAndSwap(false, true) {
 		close(s.qstop)
 	}
 	<-s.qdone
+	if s.dur != nil {
+		s.mu.Lock()
+		s.dur.store.Close()
+		s.mu.Unlock()
+	}
 }

@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/engine"
 	"repro/internal/incr"
 	"repro/internal/magic"
@@ -70,6 +71,26 @@ type Config struct {
 	// MaxBatch caps the requests coalesced into one maintainer pass.
 	// 0 means 1024.
 	MaxBatch int
+	// MaxBodyBytes caps request bodies; larger ones fail with
+	// 413 too_large.  0 means 1 MiB.
+	MaxBodyBytes int64
+
+	// DataDir enables durability: a checkpoint snapshot plus a
+	// write-ahead log live under this directory, committed batches are
+	// logged before they are acknowledged, and boot recovers from the
+	// snapshot and replays the WAL suffix (durable.go).  Empty keeps
+	// the server purely in-memory.
+	DataDir string
+	// Fsync is the WAL sync policy (always / interval / off).
+	Fsync durable.FsyncPolicy
+	// FsyncInterval is the flush period under FsyncInterval policy.
+	// 0 means 1s.
+	FsyncInterval time.Duration
+	// CheckpointBatches checkpoints after this many committed batches;
+	// CheckpointBytes after this much WAL growth.  Either trigger fires
+	// a checkpoint; with both 0 and DataDir set, 256 batches is used.
+	CheckpointBatches int
+	CheckpointBytes   int64
 }
 
 // withDefaults fills the zero fields.
@@ -79,6 +100,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.DataDir != "" && c.CheckpointBatches <= 0 && c.CheckpointBytes <= 0 {
+		c.CheckpointBatches = 256
 	}
 	return c
 }
@@ -96,6 +123,7 @@ type Server struct {
 	cur   atomic.Pointer[incr.Snapshot]
 	start time.Time
 	met   *srvMetrics
+	dur   *durState // durability runtime, nil without DataDir
 
 	// Group-commit update queue (queue.go).
 	queue  chan *updateJob
@@ -126,12 +154,24 @@ func New(prog *ast.Program, db *relation.Database, sem core.Semantics) (*Server,
 // shape all travel in cfg instead of process-wide setters.
 func NewWith(prog *ast.Program, db *relation.Database, sem core.Semantics, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	m, err := incr.NewWith(prog, db, sem, cfg.Engine)
+	var (
+		m   *incr.Maintainer
+		dur *durState
+		err error
+	)
+	if cfg.DataDir != "" {
+		m, dur, err = recoverMaintainer(prog, db, sem, cfg)
+	} else {
+		m, err = incr.NewWith(prog, db, sem, cfg.Engine)
+	}
 	if err != nil {
 		return nil, err
 	}
 	arities, err := prog.Validate()
 	if err != nil {
+		if dur != nil {
+			dur.store.Close()
+		}
 		return nil, err
 	}
 	class := prog.Classify()
@@ -143,6 +183,7 @@ func NewWith(prog *ast.Program, db *relation.Database, sem core.Semantics, cfg C
 		idb:      prog.IDB(),
 		arity:    arities,
 		m:        m,
+		dur:      dur,
 		start:    time.Now(),
 		met:      newSrvMetrics(),
 		queue:    make(chan *updateJob, cfg.QueueDepth),
@@ -203,18 +244,35 @@ func (s *Server) Snapshot() *incr.Snapshot { return s.cur.Load() }
 // new snapshot, returning both.  Safe for concurrent use; passes are
 // serialized, and the returned snapshot is the one this update
 // published (a fresh s.cur.Load() could already belong to a later
-// update).  HTTP traffic goes through EnqueueUpdate instead, which
-// group-commits concurrent callers into shared passes.
+// update).  With durability on, the batch is appended to the WAL
+// before publication, so an answered update is a logged update.  HTTP
+// traffic goes through EnqueueUpdate instead, which group-commits
+// concurrent callers into shared passes.
 func (s *Server) Update(ins, del []incr.Fact) (*incr.UpdateStats, *incr.Snapshot, error) {
+	stats, snap, err := s.updateLocked(ins, del)
+	if err == nil {
+		s.maybeCheckpointAsync()
+	}
+	return stats, snap, err
+}
+
+func (s *Server) updateLocked(ins, del []incr.Fact) (*incr.UpdateStats, *incr.Snapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	stats, err := s.m.Update(ins, del)
 	if err != nil {
 		return nil, nil, err
 	}
+	logErr := s.logBatch(ins, del)
 	snap := s.m.Snapshot()
 	s.cur.Store(snap)
 	s.met.lastPublish.Set(time.Now().UnixNano())
+	if logErr != nil {
+		// The batch is applied in memory (and visible — the snapshot
+		// stays coherent with the maintainer) but not durable: the
+		// caller must not treat its acknowledgement as persistent.
+		return nil, nil, logErr
+	}
 	return stats, snap, nil
 }
 
@@ -271,10 +329,27 @@ func (s *Server) handleRelation(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// decodeBody decodes a JSON request body capped at MaxBodyBytes,
+// writing the error envelope on failure (413 too_large when the cap
+// bites, 400 bad_request otherwise) and reporting success.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+		} else {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		}
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var q QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+	if !s.decodeBody(w, r, &q) {
 		return
 	}
 	wantMagic := s.magicDft.Load()
@@ -399,8 +474,7 @@ func (s *Server) handleMagicQuery(w http.ResponseWriter, q QueryRequest) {
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	var u UpdateRequest
-	if err := json.NewDecoder(r.Body).Decode(&u); err != nil {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+	if !s.decodeBody(w, r, &u) {
 		return
 	}
 	stats, gen, coalesced, err := s.EnqueueUpdate(u.Insert, u.Delete)
