@@ -348,3 +348,113 @@ func TestParseFsyncPolicy(t *testing.T) {
 		t.Error("bad policy accepted")
 	}
 }
+
+// A crash at segment creation leaves a headerless (possibly empty)
+// last segment.  Recovery must remove it — not truncate it to zero and
+// leave it behind, where the next boot would see an empty NON-last
+// segment, fail the magic check, and refuse to open the data dir.
+func TestStoreHeaderlessSegmentRemoved(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		content []byte
+	}{
+		{"empty", nil},
+		{"partial header", []byte("dlw")},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, _ := openStore(t, dir)
+			rec := Record{Ins: []incr.Fact{{Pred: "E", Args: []string{"a", "b"}}}}
+			if _, err := s.Append(&rec); err != nil {
+				t.Fatal(err)
+			}
+			s.Close()
+
+			// Simulate the crash: a higher-seq segment with no durable
+			// header.
+			crashed := filepath.Join(dir, "wal-0000000000000007.log")
+			if err := os.WriteFile(crashed, tc.content, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			s2, info := openStore(t, dir)
+			s2.Close()
+			if len(info.Records) != 1 {
+				t.Fatalf("recovered %d records, want 1", len(info.Records))
+			}
+			if _, err := os.Stat(crashed); !os.IsNotExist(err) {
+				t.Fatalf("headerless segment still on disk (stat err %v)", err)
+			}
+
+			// The regression: the second boot must succeed too, and
+			// still see the full history.
+			s3, info3 := openStore(t, dir)
+			defer s3.Close()
+			if len(info3.Records) != 1 {
+				t.Fatalf("second boot recovered %d records, want 1", len(info3.Records))
+			}
+		})
+	}
+}
+
+// An empty segment in the MIDDLE of the history (e.g. left behind by
+// an interrupted recovery) is skipped and removed rather than failing
+// the boot as corruption.
+func TestStoreEmptyMidHistorySegmentSkipped(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	rec := Record{Ins: []incr.Fact{{Pred: "E", Args: []string{"a", "b"}}}}
+	if _, err := s.Append(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(&rec); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	empty := filepath.Join(dir, "wal-0000000000000000.log") // below both live segments
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, info := openStore(t, dir)
+	defer s2.Close()
+	if len(info.Records) != 2 {
+		t.Fatalf("recovered %d records, want 2", len(info.Records))
+	}
+	if _, err := os.Stat(empty); !os.IsNotExist(err) {
+		t.Fatalf("empty segment still on disk (stat err %v)", err)
+	}
+}
+
+// After a failed append the store must never let a later record be
+// acknowledged beyond the (possible) tear: appends and rotations are
+// refused with ErrPoisoned once repair is impossible.
+func TestStorePoisonedAfterFailedAppend(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	defer s.Close()
+	rec := Record{Ins: []incr.Fact{{Pred: "E", Args: []string{"a", "b"}}}}
+	if _, err := s.Append(&rec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Force a write failure the truncate-repair cannot fix either:
+	// close the segment's file descriptor out from under the store.
+	s.f.Close()
+	if _, err := s.Append(&rec); err == nil {
+		t.Fatal("append on a dead segment succeeded")
+	}
+	if _, err := s.Append(&rec); err != ErrPoisoned {
+		t.Fatalf("append after tear: %v, want ErrPoisoned", err)
+	}
+	if err := s.Rotate(); err != ErrPoisoned {
+		t.Fatalf("rotate after tear: %v, want ErrPoisoned", err)
+	}
+	if st := s.Stats(); st.WALRecords != 1 {
+		t.Fatalf("failed append leaked into accounting: %+v", st)
+	}
+}

@@ -124,6 +124,7 @@ type Store struct {
 	seq        uint64   // active segment sequence number
 	dirty      bool     // unsynced appends (interval policy)
 	closed     bool
+	poisoned   bool             // unrepaired torn frame in the active segment
 	walBytes   int64            // record bytes across live segments
 	walRecords int64            // records across live segments
 	segs       map[uint64]int64 // live segment -> record bytes (for deletion accounting)
@@ -143,6 +144,12 @@ type StoreStats struct {
 
 // ErrClosed reports an operation on a closed store.
 var ErrClosed = errors.New("durable: store is closed")
+
+// ErrPoisoned reports an append or rotation refused because an earlier
+// append left a torn frame in the active segment that could not be
+// repaired.  Writing past a tear would place acknowledged records
+// beyond the point recovery truncates at, silently dropping them.
+var ErrPoisoned = errors.New("durable: WAL segment holds an unrepaired torn frame; refusing further appends")
 
 // Open opens (creating if needed) a data directory, recovers its
 // history, and leaves the store ready for appends on a fresh segment.
@@ -184,12 +191,15 @@ func Open(dir string, policy FsyncPolicy, interval time.Duration) (*Store, *Reco
 		if seq > maxSeq {
 			maxSeq = seq
 		}
-		recs, bytes, truncated, err := s.replaySegment(seq, i == len(seqs)-1)
+		recs, bytes, truncated, removed, err := s.replaySegment(seq, i == len(seqs)-1)
 		if err != nil {
 			return nil, nil, err
 		}
 		info.Records = append(info.Records, recs...)
 		info.TruncatedBytes += truncated
+		if removed {
+			continue
+		}
 		s.segs[seq] = bytes
 		s.segRecs[seq] = int64(len(recs))
 		s.walBytes += bytes
@@ -241,27 +251,33 @@ func (s *Store) segPath(seq uint64) string {
 // replaySegment reads one segment's records.  last selects the
 // torn-tail policy: the final segment is truncated in place at the
 // last valid record; an earlier segment with a bad tail is corruption
-// in the middle of the history and fails recovery.
-func (s *Store) replaySegment(seq uint64, last bool) (recs []Record, liveBytes, truncated int64, err error) {
+// in the middle of the history and fails recovery.  A segment with no
+// durable header — empty, or a partial header on the final segment
+// (a crash right at creation) — holds no records and is removed
+// outright, so it can never fail the magic check on a later boot;
+// removed reports that the file is gone and must not be accounted.
+func (s *Store) replaySegment(seq uint64, last bool) (recs []Record, liveBytes, truncated int64, removed bool, err error) {
 	path := s.segPath(seq)
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, false, err
 	}
 	defer f.Close()
 	st, err := f.Stat()
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, false, err
 	}
 	size := st.Size()
+	if size == 0 {
+		return nil, 0, 0, true, os.Remove(path)
+	}
 
 	var magic [len(walMagic)]byte
 	if _, err := io.ReadFull(f, magic[:]); err != nil || string(magic[:]) != walMagic {
 		if last && err != nil {
-			// A crash right at segment creation: nothing to replay.
-			return nil, 0, size, os.Truncate(path, 0)
+			return nil, 0, size, true, os.Remove(path)
 		}
-		return nil, 0, 0, fmt.Errorf("durable: %s is not a WAL segment (version skew?)", path)
+		return nil, 0, 0, false, fmt.Errorf("durable: %s is not a WAL segment (version skew?)", path)
 	}
 	valid := int64(len(walMagic))
 	for {
@@ -271,29 +287,29 @@ func (s *Store) replaySegment(seq uint64, last bool) (recs []Record, liveBytes, 
 		}
 		if err != nil {
 			if !last {
-				return nil, 0, 0, fmt.Errorf("durable: %s: corrupt record mid-history", path)
+				return nil, 0, 0, false, fmt.Errorf("durable: %s: corrupt record mid-history", path)
 			}
 			truncated = size - valid
 			if terr := os.Truncate(path, valid); terr != nil {
-				return nil, 0, 0, terr
+				return nil, 0, 0, false, terr
 			}
 			break
 		}
 		rec, err := DecodeRecord(payload)
 		if err != nil {
 			if !last {
-				return nil, 0, 0, fmt.Errorf("durable: %s: %w", path, err)
+				return nil, 0, 0, false, fmt.Errorf("durable: %s: %w", path, err)
 			}
 			truncated = size - valid
 			if terr := os.Truncate(path, valid); terr != nil {
-				return nil, 0, 0, terr
+				return nil, 0, 0, false, terr
 			}
 			break
 		}
 		valid += int64(len(payload)) + 8
 		recs = append(recs, *rec)
 	}
-	return recs, valid - int64(len(walMagic)), truncated, nil
+	return recs, valid - int64(len(walMagic)), truncated, false, nil
 }
 
 // openSegment creates the active segment file with its header.
@@ -332,12 +348,31 @@ func (s *Store) Append(rec *Record) (int64, error) {
 	if s.closed {
 		return 0, ErrClosed
 	}
+	if s.poisoned {
+		return 0, ErrPoisoned
+	}
 	n, err := writeFrame(s.f, payload)
 	if err != nil {
+		// A partial write (e.g. ENOSPC after the header) leaves a torn
+		// frame mid-file; anything appended after it would sit beyond
+		// the point recovery truncates at and be silently dropped.
+		// Repair by cutting the segment back to its last good frame;
+		// if even that fails, poison the segment so no later record
+		// can be acknowledged on top of the tear.
+		good := int64(len(walMagic)) + s.segs[s.seq]
+		if terr := s.f.Truncate(good); terr != nil {
+			s.poisoned = true
+		} else if _, serr := s.f.Seek(good, io.SeekStart); serr != nil {
+			s.poisoned = true
+		}
 		return 0, err
 	}
 	if s.policy == FsyncAlways {
 		if err := s.f.Sync(); err != nil {
+			// After a failed fsync the kernel may have dropped the
+			// dirty pages; whether the frame survives is unknowable,
+			// so nothing may be acknowledged on top of it.
+			s.poisoned = true
 			return 0, err
 		}
 	} else {
@@ -360,6 +395,11 @@ func (s *Store) Rotate() error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
+	}
+	if s.poisoned {
+		// Sealing a segment with a torn frame would turn its tear into
+		// mid-history corruption on the next boot.
+		return ErrPoisoned
 	}
 	if err := s.f.Sync(); err != nil {
 		return err

@@ -38,7 +38,15 @@ import (
 type durState struct {
 	store *durable.Store
 
-	// Checkpoint triggers, reset when one is captured.
+	// failed latches after a WAL append error: the write path is
+	// fenced (updates fail with ErrWALFailed) and checkpoints stop,
+	// so the durable history can never silently omit a batch that
+	// in-memory state or later log records build on.
+	failed atomic.Bool
+
+	// Checkpoint triggers, decremented only once a checkpoint is
+	// durably on disk (a failed snapshot write retries at the next
+	// commit instead of waiting out a fresh interval of traffic).
 	sinceBatches atomic.Int64
 	sinceBytes   atomic.Int64
 
@@ -116,9 +124,13 @@ func recoverMaintainer(prog *ast.Program, db *relation.Database, sem core.Semant
 // logBatch appends one committed batch to the WAL.  Called with s.mu
 // held, after the maintainer pass succeeded and before the snapshot is
 // published: the committer answers callers only after the batch is
-// durable.  An append error is returned to the caller — the in-memory
-// state holds the batch, the log does not, and the caller must know
-// its acknowledgement would have lied.
+// durable.  An append error fences the write path — the in-memory
+// maintainer holds the batch but the log does not, so publishing it or
+// logging anything after it would make recovery replay later records
+// over a base the log never recorded.  The failed batch's caller gets
+// the error (its acknowledgement would have lied), every later update
+// fails with ErrWALFailed, and reads keep serving the last batch that
+// was both logged and published.
 func (s *Server) logBatch(ins, del []incr.Fact) error {
 	if s.dur == nil {
 		return nil
@@ -126,7 +138,8 @@ func (s *Server) logBatch(ins, del []incr.Fact) error {
 	n, err := s.dur.store.Append(&durable.Record{Ins: ins, Del: del})
 	if err != nil {
 		s.dur.appendErrors.Add(1)
-		return fmt.Errorf("server: WAL append: %w", err)
+		s.dur.failed.Store(true)
+		return fmt.Errorf("%w: %v", ErrWALFailed, err)
 	}
 	s.dur.sinceBatches.Add(1)
 	s.dur.sinceBytes.Add(n)
@@ -138,7 +151,7 @@ func (s *Server) logBatch(ins, del []incr.Fact) error {
 // capture below retakes it); at most one checkpoint runs at a time.
 func (s *Server) maybeCheckpointAsync() {
 	d := s.dur
-	if d == nil {
+	if d == nil || d.failed.Load() {
 		return
 	}
 	hit := (s.cfg.CheckpointBatches > 0 && d.sinceBatches.Load() >= int64(s.cfg.CheckpointBatches)) ||
@@ -158,12 +171,19 @@ func (s *Server) checkpointNow() {
 	start := time.Now()
 
 	s.mu.Lock()
+	if d.failed.Load() {
+		// The maintainer holds a batch the WAL rejected; a snapshot
+		// taken now would make that unacknowledged batch durable.
+		s.mu.Unlock()
+		return
+	}
 	err := d.store.Rotate()
 	var cp *incr.Checkpoint
+	var coveredBatches, coveredBytes int64
 	if err == nil {
 		cp = s.m.Checkpoint()
-		d.sinceBatches.Store(0)
-		d.sinceBytes.Store(0)
+		coveredBatches = d.sinceBatches.Load()
+		coveredBytes = d.sinceBytes.Load()
 	}
 	s.mu.Unlock()
 
@@ -174,6 +194,12 @@ func (s *Server) checkpointNow() {
 		d.ckptErrors.Add(1)
 		return
 	}
+	// Subtract (rather than zero) what the snapshot covered, only now
+	// that it is durable: appends that raced the write keep counting
+	// toward the next trigger, and a failed attempt leaves the
+	// counters tripped so the retry fires at the very next commit.
+	d.sinceBatches.Add(-coveredBatches)
+	d.sinceBytes.Add(-coveredBytes)
 	d.checkpoints.Add(1)
 	d.lastCkptNano.Store(time.Now().UnixNano())
 	d.lastCkptDur.Store(int64(time.Since(start)))

@@ -45,6 +45,9 @@ var (
 	ErrQueueFull = errors.New("server: update queue full")
 	// ErrClosed is returned for updates after Close.
 	ErrClosed = errors.New("server: closed")
+	// ErrWALFailed is returned for updates after a WAL append failure
+	// fenced the write path; reads keep serving the last durable state.
+	ErrWALFailed = errors.New("server: WAL append failed; updates disabled until restart")
 )
 
 // updateJob is one enqueued update request.

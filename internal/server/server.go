@@ -259,20 +259,27 @@ func (s *Server) Update(ins, del []incr.Fact) (*incr.UpdateStats, *incr.Snapshot
 func (s *Server) updateLocked(ins, del []incr.Fact) (*incr.UpdateStats, *incr.Snapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.dur != nil && s.dur.failed.Load() {
+		// An earlier batch reached the maintainer but not the WAL.
+		// Applying (or logging) anything more would diverge the
+		// durable history from the state callers were acknowledged
+		// against, so the write path stays fenced until restart.
+		return nil, nil, ErrWALFailed
+	}
 	stats, err := s.m.Update(ins, del)
 	if err != nil {
 		return nil, nil, err
 	}
-	logErr := s.logBatch(ins, del)
+	if logErr := s.logBatch(ins, del); logErr != nil {
+		// logBatch fenced the write path.  The batch is never
+		// published: readers keep seeing the last snapshot whose
+		// batch is both applied and logged, which is exactly the
+		// state recovery rebuilds.
+		return nil, nil, logErr
+	}
 	snap := s.m.Snapshot()
 	s.cur.Store(snap)
 	s.met.lastPublish.Set(time.Now().UnixNano())
-	if logErr != nil {
-		// The batch is applied in memory (and visible — the snapshot
-		// stays coherent with the maintainer) but not durable: the
-		// caller must not treat its acknowledgement as persistent.
-		return nil, nil, logErr
-	}
 	return stats, snap, nil
 }
 
@@ -484,6 +491,9 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, "server shutting down")
+		return
+	case errors.Is(err, ErrWALFailed):
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err.Error())
 		return
 	case err != nil:
 		writeError(w, http.StatusUnprocessableEntity, CodeUnprocessable, err.Error())
