@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench bench-smoke bench-json bench-serve profile staticcheck fuzz-smoke crashtest cover ci
+.PHONY: all build test race vet fmt fmt-check bench bench-smoke bench-json bench-serve profile staticcheck fuzz-smoke crashtest replicatest cover ci
 
 all: build
 
@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine ./internal/relation ./internal/semantics ./internal/partition ./internal/incr ./internal/durable ./internal/server
+	$(GO) test -race ./internal/engine ./internal/relation ./internal/semantics ./internal/partition ./internal/incr ./internal/durable ./internal/server ./internal/replica
 
 vet:
 	$(GO) vet ./...
@@ -128,8 +128,15 @@ fuzz-smoke:
 # kill -9 at random points, restart, and diff every relation against a
 # from-scratch recompute over the surviving snapshot + WAL.
 CRASHES ?= 24
+CKPT_CRASHES ?= 6
 crashtest:
-	$(GO) run ./scripts/crashtest -crashes $(CRASHES) -fsync always
+	$(GO) run ./scripts/crashtest -crashes $(CRASHES) -ckpt-crashes $(CKPT_CRASHES) -fsync always
+
+# The replication kill harness: leader + follower daemons, mid-stream
+# leader kill -9, convergence oracle, retention pinning, promotion, and
+# follower restart catch-up.
+replicatest:
+	$(GO) run ./scripts/replicatest -fsync always
 
 # Statement coverage with the recorded floor (the total measured when
 # the gate was introduced, minus noise margin): PRs may not shed tests.

@@ -9,14 +9,22 @@
 //
 // With -data-dir the daemon is durable: committed batches are appended
 // to a write-ahead log before they are acknowledged, checkpoints
-// snapshot the maintained state in the background, and a restart
-// recovers by restoring the snapshot and replaying the WAL suffix —
-// no fixpoint re-run (see internal/durable).
+// snapshot the maintained state in the background, a final checkpoint
+// runs on graceful shutdown, and a restart recovers by restoring the
+// snapshot and replaying the WAL suffix — no fixpoint re-run (see
+// internal/durable).
+//
+// With -follow the daemon is a replication follower: it bootstraps
+// from the leader's checkpoint, tails the leader's WAL, applies every
+// committed batch through its own maintainer, and serves read-only
+// traffic (updates answer 503 not_leader with the leader's address).
+// POST /v1/replica/promote flips it writable (see internal/replica).
 //
 // Usage:
 //
 //	serve -program tc.dl -facts graph.dl [-semantics inflationary] [-addr :8090]
 //	      [-data-dir DIR] [-checkpoint-every 256|64mb] [-fsync always|interval|off]
+//	      [-follow http://leader:8090] [-retain 256mb] [-retain-ttl 1m]
 //
 // API (JSON; see internal/server for the wire types):
 //
@@ -25,6 +33,9 @@
 //	POST /v1/query    {"pred":"s","args":["v1",null]}
 //	POST /v1/update   {"insert":[{"pred":"E","args":["a","b"]}],"delete":[]}
 //	GET  /v1/metrics
+//	GET  /v1/replica/snapshot?id=F          (leader side)
+//	GET  /v1/replica/wal?from=SEQ,OFF&id=F  (leader side)
+//	POST /v1/replica/promote                (follower side)
 package main
 
 import (
@@ -38,13 +49,17 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/durable"
 	"repro/internal/engine"
+	"repro/internal/incr"
 	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/replica"
 	"repro/internal/server"
 )
 
@@ -74,6 +89,10 @@ type options struct {
 	checkpointEvery string
 	fsync           string
 	fsyncInterval   time.Duration
+
+	follow    string
+	retain    string
+	retainTTL time.Duration
 }
 
 // newFlags defines the flag set over opts.  Split from main so tests
@@ -81,7 +100,7 @@ type options struct {
 func newFlags(name string, opts *options) *flag.FlagSet {
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	fs.StringVar(&opts.program, "program", "", "path to the DATALOG¬ program (required)")
-	fs.StringVar(&opts.facts, "facts", "", "path to the fact file (required)")
+	fs.StringVar(&opts.facts, "facts", "", "path to the fact file (required unless -follow)")
 	fs.StringVar(&opts.semantics, "semantics", "inflationary", "inflationary|lfp|stratified|wellfounded")
 	fs.StringVar(&opts.addr, "addr", ":8090", "listen address")
 	fs.IntVar(&opts.workers, "workers", 0, "Θ evaluation worker-pool size (0 = GOMAXPROCS)")
@@ -99,6 +118,9 @@ func newFlags(name string, opts *options) *flag.FlagSet {
 	fs.StringVar(&opts.checkpointEvery, "checkpoint-every", "256", "checkpoint after N committed batches, or after a kb/mb/gb size of WAL growth")
 	fs.StringVar(&opts.fsync, "fsync", "always", "WAL sync policy: always|interval|off")
 	fs.DurationVar(&opts.fsyncInterval, "fsync-interval", time.Second, "flush period under -fsync=interval")
+	fs.StringVar(&opts.follow, "follow", "", "replicate from this leader URL (read-only follower; requires -data-dir)")
+	fs.StringVar(&opts.retain, "retain", "256mb", "max covered WAL retained for lagging followers before their pins are evicted")
+	fs.DurationVar(&opts.retainTTL, "retain-ttl", time.Minute, "drop a follower's retention pin after this long without a poll")
 	return fs
 }
 
@@ -129,6 +151,19 @@ func parseCheckpointEvery(s string) (batches int, bytes int64, err error) {
 	return n, 0, nil
 }
 
+// parseSize reads a byte size: a bare integer is bytes, kb/mb/gb
+// suffixes scale.
+func parseSize(flagName, s string) (int64, error) {
+	batches, bytes, err := parseCheckpointEvery(s)
+	if err != nil {
+		return 0, fmt.Errorf("%s: bad size %q", flagName, s)
+	}
+	if bytes == 0 {
+		bytes = int64(batches)
+	}
+	return bytes, nil
+}
+
 // serverConfig translates the flags into the server's options API.
 func (o *options) serverConfig() (server.Config, error) {
 	batches, bytes, err := parseCheckpointEvery(o.checkpointEvery)
@@ -136,6 +171,10 @@ func (o *options) serverConfig() (server.Config, error) {
 		return server.Config{}, err
 	}
 	policy, err := durable.ParseFsyncPolicy(o.fsync)
+	if err != nil {
+		return server.Config{}, err
+	}
+	retain, err := parseSize("-retain", o.retain)
 	if err != nil {
 		return server.Config{}, err
 	}
@@ -158,6 +197,10 @@ func (o *options) serverConfig() (server.Config, error) {
 		FsyncInterval:     o.fsyncInterval,
 		CheckpointBatches: batches,
 		CheckpointBytes:   bytes,
+		ReadOnly:          o.follow != "",
+		LeaderAddr:        o.follow,
+		RetainBytes:       retain,
+		RetainTTL:         o.retainTTL,
 	}, nil
 }
 
@@ -175,41 +218,65 @@ func newHTTPServer(addr string, h http.Handler) *http.Server {
 	}
 }
 
-func main() {
+// run is the daemon body.  Errors return (never os.Exit) so the
+// deferred server Close always flushes and closes the store — the old
+// fatal()-after-NewWith paths leaked it.
+func run(args []string) error {
 	var opts options
 	fs := newFlags("serve", &opts)
-	fs.Parse(os.Args[1:])
-	if opts.program == "" || opts.facts == "" {
+	fs.Parse(args)
+	if opts.program == "" || (opts.facts == "" && opts.follow == "") {
 		fmt.Fprintln(os.Stderr, "usage: serve -program FILE -facts FILE [-semantics NAME] [-addr :8090]")
+		fmt.Fprintln(os.Stderr, "       serve -program FILE -follow http://leader:8090 -data-dir DIR [-addr :8091]")
 		fs.PrintDefaults()
 		os.Exit(2)
+	}
+	if opts.follow != "" && opts.dataDir == "" {
+		return fmt.Errorf("-follow requires -data-dir (the follower persists its own checkpoint and WAL)")
 	}
 
 	prog, err := parser.ProgramFile(opts.program)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	db, err := parser.FactsFile(opts.facts)
-	if err != nil {
-		fatal(err)
+	db := relation.NewDatabase()
+	if opts.facts != "" {
+		if db, err = parser.FactsFile(opts.facts); err != nil {
+			return err
+		}
 	}
 	sem, err := core.ParseSemantics(opts.semantics)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-
 	cfg, err := opts.serverConfig()
 	if err != nil {
-		fatal(err)
+		return err
 	}
+
+	var repCfg replica.Config
+	freshBootstrap := false
+	if opts.follow != "" {
+		repCfg = replica.Config{
+			Leader:    opts.follow,
+			DataDir:   opts.dataDir,
+			Program:   server.ProgramIdentity(prog),
+			Semantics: sem.String(),
+			Logf:      log.Printf,
+		}
+		if freshBootstrap, err = replica.Bootstrap(repCfg); err != nil {
+			return err
+		}
+	}
+
 	start := time.Now()
 	srv, err := server.NewWith(prog, db, sem, cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer srv.Close()
 	if opts.magic && !srv.MagicSupported() {
-		fatal(fmt.Errorf("-magic requires lfp, stratified, or coinciding inflationary semantics"))
+		return fmt.Errorf("-magic requires lfp, stratified, or coinciding inflationary semantics")
 	}
 	snap := srv.Snapshot()
 	total := 0
@@ -229,6 +296,46 @@ func main() {
 	hs := newHTTPServer(opts.addr, srv.Handler())
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+
+	// Follower mode: tail the leader in the background.  A terminal
+	// tail error (compacted / diverged / apply failure) shuts the
+	// daemon down — the next boot's Bootstrap wipes and re-bootstraps.
+	termCh := make(chan error, 1)
+	stopReplica := func() {}
+	if opts.follow != "" {
+		fol, err := replica.New(repCfg, func(ins, del []incr.Fact) error {
+			_, _, uerr := srv.Update(ins, del)
+			return uerr
+		})
+		if err != nil {
+			return err
+		}
+		if freshBootstrap {
+			fol.MarkBootstrapped()
+		}
+		repCtx, repCancel := context.WithCancel(context.Background())
+		loopDone := make(chan struct{})
+		go func() {
+			rerr := fol.Run(repCtx)
+			close(loopDone)
+			if rerr != nil {
+				termCh <- rerr
+				sctx, c := context.WithTimeout(context.Background(), 5*time.Second)
+				defer c()
+				hs.Shutdown(sctx)
+			}
+		}()
+		var stopOnce sync.Once
+		stopReplica = func() {
+			stopOnce.Do(func() {
+				repCancel()
+				<-loopDone
+			})
+		}
+		srv.SetReplicaHooks(fol.Metrics, stopReplica)
+		log.Printf("serve: following %s (read-only; POST /v1/replica/promote to take over)", opts.follow)
+	}
+
 	go func() {
 		<-ctx.Done()
 		shutdownCtx, c := context.WithTimeout(context.Background(), 5*time.Second)
@@ -237,12 +344,25 @@ func main() {
 	}()
 	log.Printf("serve: listening on %s", opts.addr)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fatal(err)
+		return err
+	}
+	stopReplica()
+	select {
+	case rerr := <-termCh:
+		return rerr
+	default:
+	}
+	// The documented final checkpoint: a clean restart replays nothing.
+	if err := srv.CheckpointNow(); err != nil {
+		log.Printf("serve: final checkpoint: %v", err)
 	}
 	log.Printf("serve: shut down")
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "serve:", err)
-	os.Exit(1)
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
 }

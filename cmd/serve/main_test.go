@@ -92,6 +92,28 @@ func TestServerConfig(t *testing.T) {
 	if c.Fsync != durable.FsyncAlways || c.CheckpointBatches != 256 || c.CheckpointBytes != 0 {
 		t.Errorf("default durable config = %+v", c)
 	}
+	if c.ReadOnly || c.LeaderAddr != "" || c.RetainBytes != 256<<20 || c.RetainTTL != time.Minute {
+		t.Errorf("default replication config = %+v", c)
+	}
+
+	// Follower flags: -follow flips the server read-only and carries the
+	// leader address; -retain/-retain-ttl bound the leader's WAL pinning.
+	var fol options
+	ffs := newFlags("serve", &fol)
+	if err := ffs.Parse([]string{
+		"-follow", "http://leader:8090", "-data-dir", "/tmp/f",
+		"-retain", "4mb", "-retain-ttl", "30s",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fc, err := fol.serverConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fc.ReadOnly || fc.LeaderAddr != "http://leader:8090" ||
+		fc.RetainBytes != 4<<20 || fc.RetainTTL != 30*time.Second {
+		t.Errorf("follower config = %+v", fc)
+	}
 }
 
 func TestParseCheckpointEvery(t *testing.T) {

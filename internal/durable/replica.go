@@ -1,0 +1,401 @@
+// replica.go — the leader-side replication surface of the store: WAL
+// cursors, a verified segment reader for log shipping, append
+// notification for long-polling tails, and retention pinning so
+// checkpoint compaction never deletes a segment a live follower still
+// needs.
+//
+// A Cursor names a byte position in the WAL history: (segment
+// sequence, byte offset within the segment file, magic header
+// included).  Frames are self-delimiting and CRC-checked, so a cursor
+// produced by summing served frame lengths always lands on a frame
+// boundary.  The replication protocol built on top (internal/server,
+// internal/replica) ships raw frames — exactly the on-disk format —
+// and the follower decodes them with the same DecodeRecord the
+// recovery path uses.
+//
+// Retention.  WriteCheckpoint normally deletes every sealed segment
+// the new snapshot covers.  A Pin(id, seq) — refreshed by every
+// replica request — keeps segments ≥ seq on disk past coverage, so a
+// follower that is mid-catch-up never sees its cursor compacted away.
+// Pins are bounded: when the covered-but-retained record bytes exceed
+// the retention limit, the laggiest pins are evicted (their follower
+// re-bootstraps from the snapshot), and pins idle past the TTL expire.
+// Both policies run inside the checkpoint sweep, the only place
+// deletion happens.
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Cursor is a position in the WAL history: a segment sequence number
+// and a byte offset into that segment's file (the 8-byte magic header
+// counts, so the first record of a segment sits at offset 8).
+type Cursor struct {
+	Seq uint64
+	Off int64
+}
+
+// String renders the cursor in the "seq,off" wire form.
+func (c Cursor) String() string { return fmt.Sprintf("%d,%d", c.Seq, c.Off) }
+
+// ParseCursor parses the "seq,off" wire form.
+func ParseCursor(s string) (Cursor, error) {
+	var c Cursor
+	if _, err := fmt.Sscanf(s, "%d,%d", &c.Seq, &c.Off); err != nil {
+		return Cursor{}, fmt.Errorf("durable: bad cursor %q (want seq,off)", s)
+	}
+	return c, nil
+}
+
+// Replication errors, mapped to HTTP statuses by the server.
+var (
+	// ErrCompacted reports a cursor whose segment has been deleted by
+	// checkpoint compaction (or eviction): the records before the
+	// snapshot's coverage point are only available via the snapshot, so
+	// the follower must re-bootstrap.
+	ErrCompacted = errors.New("durable: cursor points before the retained WAL history")
+	// ErrAhead reports a cursor past the durable end of the log — the
+	// follower holds records this store does not, i.e. the histories
+	// have diverged (a leader that lost an unsynced tail, or a cursor
+	// from a different data dir).
+	ErrAhead = errors.New("durable: cursor points past the durable end of the WAL")
+)
+
+// SnapshotPath names the snapshot file the store serves to
+// bootstrapping followers.  The file is atomically replaced by
+// checkpoints; a reader that has opened it keeps the old image.
+func (s *Store) SnapshotPath() string { return filepath.Join(s.dir, snapName) }
+
+// StartCursor returns the earliest live position of the WAL — the
+// cursor a follower restoring the current snapshot resumes from.
+// Because replaying records the snapshot already contains is
+// idempotent, any snapshot installed at or after the call covers
+// everything before this cursor.
+func (s *Store) StartCursor() Cursor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Cursor{Seq: s.minLiveSeqLocked(), Off: int64(len(walMagic))}
+}
+
+// SnapshotCursor atomically computes the bootstrap cursor and pins it
+// for the named follower, so the segments it needs survive until its
+// first WAL poll re-pins them.
+func (s *Store) SnapshotCursor(id string) Cursor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := Cursor{Seq: s.minLiveSeqLocked(), Off: int64(len(walMagic))}
+	s.pinLocked(id, c.Seq)
+	return c
+}
+
+// EndCursor returns the position one past the last durable record.
+func (s *Store) EndCursor() Cursor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Cursor{Seq: s.seq, Off: int64(len(walMagic)) + s.segs[s.seq]}
+}
+
+// minLiveSeqLocked returns the smallest live segment sequence (the
+// active segment always exists).
+func (s *Store) minLiveSeqLocked() uint64 {
+	min := s.seq
+	for seq := range s.segs {
+		if seq < min {
+			min = seq
+		}
+	}
+	return min
+}
+
+// nextLiveSeqLocked returns the smallest live sequence strictly after
+// seq (the active segment bounds the search).
+func (s *Store) nextLiveSeqLocked(seq uint64) uint64 {
+	next := s.seq
+	for q := range s.segs {
+		if q > seq && q < next {
+			next = q
+		}
+	}
+	return next
+}
+
+// AppendNotify returns a channel that is closed the next time the log
+// grows (an append or a rotation) or the store closes.  Grab the
+// channel before checking for data to avoid a missed wakeup.
+func (s *Store) AppendNotify() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.notify
+}
+
+// notifyLocked wakes every AppendNotify waiter.
+func (s *Store) notifyLocked() {
+	close(s.notify)
+	s.notify = make(chan struct{})
+}
+
+// Pin records that follower id needs segments ≥ seq retained.  Pins
+// only advance: a stale request cannot move a follower's pin
+// backwards.  Refreshing the pin also refreshes its TTL.
+func (s *Store) Pin(id string, seq uint64) {
+	if id == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pinLocked(id, seq)
+}
+
+func (s *Store) pinLocked(id string, seq uint64) {
+	if id == "" {
+		return
+	}
+	p := s.pins[id]
+	if p == nil {
+		p = &pinInfo{seq: seq}
+		s.pins[id] = p
+	} else if seq > p.seq {
+		p.seq = seq
+	}
+	p.last = time.Now()
+}
+
+// Unpin drops a follower's retention pin.
+func (s *Store) Unpin(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.pins, id)
+}
+
+// SetRetention bounds pinned retention: at most limitBytes of
+// covered-but-retained record bytes (0 keeps the 256 MiB default),
+// and pins idle for longer than ttl expire (0 keeps the 60s default).
+func (s *Store) SetRetention(limitBytes int64, ttl time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if limitBytes > 0 {
+		s.retainBytes = limitBytes
+	}
+	if ttl > 0 {
+		s.pinTTL = ttl
+	}
+}
+
+// LagFrom reports how many records and record bytes lie strictly after
+// the cursor — the follower lag the /v1/replica/wal response headers
+// carry.  The cursor's own segment is scanned by frame headers (cheap:
+// 8-byte reads plus seeks); later segments come from the accounting
+// maps.
+func (s *Store) LagFrom(c Cursor) (records, bytes int64) {
+	s.mu.Lock()
+	type seg struct {
+		seq        uint64
+		recs, size int64
+	}
+	var later []seg
+	var cur seg
+	curLive := false
+	for seq, sz := range s.segs {
+		switch {
+		case seq == c.Seq:
+			cur = seg{seq: seq, recs: s.segRecs[seq], size: sz}
+			curLive = true
+		case seq > c.Seq:
+			later = append(later, seg{seq: seq, recs: s.segRecs[seq], size: sz})
+		}
+	}
+	path := s.segPath(c.Seq)
+	s.mu.Unlock()
+
+	for _, sg := range later {
+		records += sg.recs
+		bytes += sg.size
+	}
+	if !curLive {
+		return records, bytes
+	}
+	end := int64(len(walMagic)) + cur.size
+	if c.Off >= end {
+		return records, bytes
+	}
+	bytes += end - c.Off
+	// Count the frames after the offset by walking headers.
+	f, err := os.Open(path)
+	if err != nil {
+		return records, bytes
+	}
+	defer f.Close()
+	off := c.Off
+	for off < end {
+		var hdr [8]byte
+		if _, err := f.ReadAt(hdr[:], off); err != nil {
+			break
+		}
+		n := int64(binary.LittleEndian.Uint32(hdr[0:]))
+		off += 8 + n
+		records++
+	}
+	return records, bytes
+}
+
+// ReadWAL reads up to roughly maxBytes of complete, checksum-verified
+// frames starting at cursor c, returning the raw frame bytes (the
+// on-disk wire format), the cursor after them, and the frame count.
+// A cursor at the end of a sealed segment is transparently advanced to
+// the next live segment.  Errors: ErrCompacted (segment deleted — the
+// follower re-bootstraps from the snapshot), ErrAhead (cursor past the
+// durable end — histories diverged), ErrClosed, or a corruption error
+// for a bad frame inside a sealed segment.
+func (s *Store) ReadWAL(c Cursor, maxBytes int) (data []byte, next Cursor, nrecs int, err error) {
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, c, 0, ErrClosed
+	}
+	for {
+		sz, live := s.segs[c.Seq]
+		if !live {
+			s.mu.Unlock()
+			if c.Seq > s.seq {
+				return nil, c, 0, ErrAhead
+			}
+			return nil, c, 0, ErrCompacted
+		}
+		end := int64(len(walMagic)) + sz
+		if c.Off < int64(len(walMagic)) || c.Off > end {
+			s.mu.Unlock()
+			if c.Off > end {
+				return nil, c, 0, ErrAhead
+			}
+			return nil, c, 0, fmt.Errorf("durable: cursor offset %d inside the segment header", c.Off)
+		}
+		if c.Off == end && c.Seq < s.seq {
+			c = Cursor{Seq: s.nextLiveSeqLocked(c.Seq), Off: int64(len(walMagic))}
+			continue
+		}
+		break
+	}
+	sealed := c.Seq < s.seq
+	path := s.segPath(c.Seq)
+	s.mu.Unlock()
+
+	// Read outside the lock: an unlinked segment stays readable through
+	// the open descriptor, and the active segment only ever grows (a
+	// torn frame from a concurrent append fails its checksum and is
+	// simply not shipped yet).
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, c, 0, ErrCompacted
+		}
+		return nil, c, 0, err
+	}
+	defer f.Close()
+
+	off := c.Off
+	for len(data) < maxBytes {
+		var hdr [8]byte
+		if _, err := f.ReadAt(hdr[:], off); err != nil {
+			if sealed && err != io.EOF {
+				return nil, c, 0, fmt.Errorf("durable: %s: %v", path, err)
+			}
+			break
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:])
+		sum := binary.LittleEndian.Uint32(hdr[4:])
+		if n > maxRecordBytes {
+			if sealed {
+				return nil, c, 0, fmt.Errorf("durable: %s: corrupt frame at offset %d", path, off)
+			}
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(io.NewSectionReader(f, off+8, int64(n)), payload); err != nil {
+			if sealed {
+				return nil, c, 0, fmt.Errorf("durable: %s: torn frame at offset %d in a sealed segment", path, off)
+			}
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			if sealed {
+				return nil, c, 0, fmt.Errorf("durable: %s: checksum mismatch at offset %d in a sealed segment", path, off)
+			}
+			break
+		}
+		data = append(data, hdr[:]...)
+		data = append(data, payload...)
+		off += 8 + int64(n)
+		nrecs++
+	}
+	return data, Cursor{Seq: c.Seq, Off: off}, nrecs, nil
+}
+
+// sweepRetentionLocked applies the retention policy after a checkpoint
+// made segments < covered redundant: expire idle pins, evict pins
+// whose retained backlog exceeds the bound, and return the segment
+// sequences that may now be deleted.
+func (s *Store) sweepRetentionLocked(covered uint64) (drop []uint64) {
+	now := time.Now()
+	for id, p := range s.pins {
+		if s.pinTTL > 0 && now.Sub(p.last) > s.pinTTL {
+			delete(s.pins, id)
+		}
+	}
+	minPin := func() uint64 {
+		min := uint64(math.MaxUint64)
+		for _, p := range s.pins {
+			if p.seq < min {
+				min = p.seq
+			}
+		}
+		return min
+	}
+	retained := func(from uint64) int64 {
+		var b int64
+		for seq, sz := range s.segs {
+			if seq >= from && seq < covered {
+				b += sz
+			}
+		}
+		return b
+	}
+	for {
+		mp := minPin()
+		if mp == math.MaxUint64 || retained(mp) <= s.retainBytes {
+			break
+		}
+		// Evict the laggiest follower(s); their next poll gets
+		// ErrCompacted and they re-bootstrap from the snapshot.
+		for id, p := range s.pins {
+			if p.seq == mp {
+				delete(s.pins, id)
+				s.evictions++
+			}
+		}
+	}
+	floor := minPin()
+	for seq := range s.segs {
+		if seq < covered && seq < floor {
+			drop = append(drop, seq)
+		}
+	}
+	return drop
+}
+
+// pinInfo is one follower's retention pin.
+type pinInfo struct {
+	seq  uint64
+	last time.Time
+}

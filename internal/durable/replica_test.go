@@ -1,0 +1,281 @@
+package durable
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/incr"
+)
+
+// readAll drains the WAL from c, decoding every shipped frame.
+func readAll(t *testing.T, s *Store, c Cursor) ([]Record, Cursor) {
+	t.Helper()
+	var out []Record
+	for {
+		data, next, n, err := s.ReadWAL(c, 1<<20)
+		if err != nil {
+			t.Fatalf("ReadWAL(%v): %v", c, err)
+		}
+		if n == 0 {
+			return out, next
+		}
+		payloads, err := ScanFrames(data)
+		if err != nil {
+			t.Fatalf("ScanFrames: %v", err)
+		}
+		if len(payloads) != n {
+			t.Fatalf("ReadWAL reported %d frames, ScanFrames found %d", n, len(payloads))
+		}
+		for _, p := range payloads {
+			rec, err := DecodeRecord(p)
+			if err != nil {
+				t.Fatalf("DecodeRecord: %v", err)
+			}
+			out = append(out, *rec)
+		}
+		c = next
+	}
+}
+
+func TestReadWALWalksHistory(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	defer s.Close()
+
+	if got, want := s.SnapshotPath(), filepath.Join(dir, "snapshot.bin"); got != want {
+		t.Fatalf("SnapshotPath() = %q, want %q", got, want)
+	}
+
+	want := []Record{
+		{Ins: []incr.Fact{{Pred: "E", Args: []string{"a", "b"}}}},
+		{Del: []incr.Fact{{Pred: "E", Args: []string{"a", "b"}}}},
+		{Ins: []incr.Fact{{Pred: "E", Args: []string{"c", "d"}}}},
+	}
+	start := s.StartCursor()
+	if _, err := s.Append(&want[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rotate(); err != nil { // force a segment boundary mid-history
+		t.Fatal(err)
+	}
+	for i := 1; i < len(want); i++ {
+		if _, err := s.Append(&want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got, next := readAll(t, s, start)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("shipped %+v, want %+v", got, want)
+	}
+	if end := s.EndCursor(); next != end {
+		t.Fatalf("cursor after drain %v, want end %v", next, end)
+	}
+	// Reading at the end is not an error; it just ships nothing.
+	if _, _, n, err := s.ReadWAL(next, 1<<20); err != nil || n != 0 {
+		t.Fatalf("read at end: n=%d err=%v", n, err)
+	}
+}
+
+func TestReadWALErrors(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	defer s.Close()
+	rec := Record{Ins: []incr.Fact{{Pred: "E", Args: []string{"a", "b"}}}}
+	old := s.StartCursor()
+	if _, err := s.Append(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	m := mustMaintainer(t, 0)
+	if err := s.WriteCheckpoint(m.Checkpoint()); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, _, err := s.ReadWAL(old, 0); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("read at compacted cursor: %v, want ErrCompacted", err)
+	}
+	end := s.EndCursor()
+	if _, _, _, err := s.ReadWAL(Cursor{Seq: end.Seq + 5, Off: 8}, 0); !errors.Is(err, ErrAhead) {
+		t.Fatalf("read past the log: %v, want ErrAhead", err)
+	}
+	if _, _, _, err := s.ReadWAL(Cursor{Seq: end.Seq, Off: end.Off + 999}, 0); !errors.Is(err, ErrAhead) {
+		t.Fatalf("read past the active tail: %v, want ErrAhead", err)
+	}
+}
+
+func TestPinRetainsCoveredSegments(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	defer s.Close()
+	recs := []Record{
+		{Ins: []incr.Fact{{Pred: "E", Args: []string{"a", "b"}}}},
+		{Ins: []incr.Fact{{Pred: "E", Args: []string{"c", "d"}}}},
+	}
+	c := s.SnapshotCursor("follower-1")
+	if _, err := s.Append(&recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(&recs[1]); err != nil {
+		t.Fatal(err)
+	}
+	m := mustMaintainer(t, 0)
+	if err := s.WriteCheckpoint(m.Checkpoint()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The covered segment survives: the pinned follower can still read
+	// its whole backlog.
+	if st := s.Stats(); st.RetainedSegments == 0 || st.Pins != 1 {
+		t.Fatalf("stats after pinned checkpoint: %+v", st)
+	}
+	got, _ := readAll(t, s, c)
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("pinned read shipped %+v, want %+v", got, recs)
+	}
+
+	// Dropping the pin lets the next checkpoint compact.
+	s.Unpin("follower-1")
+	if err := s.WriteCheckpoint(m.Checkpoint()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := s.ReadWAL(c, 0); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("read after unpin+checkpoint: %v, want ErrCompacted", err)
+	}
+}
+
+func TestBoundedLagEviction(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	defer s.Close()
+	s.SetRetention(1, time.Hour) // evict anyone retaining more than 1 byte
+
+	c := s.SnapshotCursor("laggard")
+	if _, err := s.Append(&Record{Ins: []incr.Fact{{Pred: "E", Args: []string{"a", "b"}}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	m := mustMaintainer(t, 0)
+	if err := s.WriteCheckpoint(m.Checkpoint()); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Pins != 0 || st.Evictions != 1 || st.RetainedSegments != 0 {
+		t.Fatalf("stats after bounded-lag sweep: %+v (want pin evicted)", st)
+	}
+	if _, _, _, err := s.ReadWAL(c, 0); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("evicted follower read: %v, want ErrCompacted", err)
+	}
+}
+
+func TestPinTTLExpiry(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	defer s.Close()
+	s.SetRetention(1<<30, time.Millisecond)
+	s.Pin("idle", 1)
+	time.Sleep(5 * time.Millisecond)
+	m := mustMaintainer(t, 0)
+	if err := s.WriteCheckpoint(m.Checkpoint()); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Pins != 0 {
+		t.Fatalf("idle pin survived its TTL: %+v", st)
+	}
+}
+
+func TestAppendNotify(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	defer s.Close()
+	ch := s.AppendNotify()
+	select {
+	case <-ch:
+		t.Fatal("notify fired before any append")
+	default:
+	}
+	if _, err := s.Append(&Record{Ins: []incr.Fact{{Pred: "E", Args: []string{"a", "b"}}}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("append did not wake the notify channel")
+	}
+	// Close wakes waiters too, so a long-poller never hangs on shutdown.
+	ch = s.AppendNotify()
+	s.Close()
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("close did not wake the notify channel")
+	}
+}
+
+func TestLagFrom(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	defer s.Close()
+	start := s.StartCursor()
+	for i := 0; i < 3; i++ {
+		if _, err := s.Append(&Record{Ins: []incr.Fact{{Pred: "E", Args: []string{"a", "b"}}}}); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			if err := s.Rotate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	recs, bytes := s.LagFrom(start)
+	if recs != 3 || bytes == 0 {
+		t.Fatalf("LagFrom(start) = %d recs, %d bytes; want 3 recs", recs, bytes)
+	}
+	if recs, bytes := s.LagFrom(s.EndCursor()); recs != 0 || bytes != 0 {
+		t.Fatalf("LagFrom(end) = %d recs, %d bytes; want 0, 0", recs, bytes)
+	}
+}
+
+func TestScanFramesRejectsDamage(t *testing.T) {
+	data, _, _, err := func() ([]byte, Cursor, int, error) {
+		dir := t.TempDir()
+		s, _ := openStore(t, dir)
+		defer s.Close()
+		if _, err := s.Append(&Record{Ins: []incr.Fact{{Pred: "E", Args: []string{"a", "b"}}}}); err != nil {
+			t.Fatal(err)
+		}
+		return s.ReadWAL(s.StartCursor(), 1<<20)
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte{}, data...)
+	bad[len(bad)-1] ^= 0xFF
+	if _, err := ScanFrames(bad); err == nil {
+		t.Error("corrupt frame accepted")
+	}
+	if _, err := ScanFrames(data[:len(data)-2]); err == nil {
+		t.Error("truncated frame accepted")
+	}
+}
+
+func TestParseCursor(t *testing.T) {
+	c := Cursor{Seq: 42, Off: 1234}
+	got, err := ParseCursor(c.String())
+	if err != nil || got != c {
+		t.Fatalf("ParseCursor(%q) = %v, %v", c.String(), got, err)
+	}
+	if _, err := ParseCursor("nope"); err == nil {
+		t.Error("bad cursor accepted")
+	}
+}

@@ -130,6 +130,16 @@ type Store struct {
 	segs       map[uint64]int64 // live segment -> record bytes (for deletion accounting)
 	segRecs    map[uint64]int64
 
+	// Replication state (replica.go): append/rotate wakeups for
+	// long-polling readers, follower retention pins, and the bounds
+	// the checkpoint sweep enforces on them.
+	notify      chan struct{}
+	pins        map[string]*pinInfo
+	covered     uint64 // segments below this are redundant with the snapshot
+	retainBytes int64
+	pinTTL      time.Duration
+	evictions   int64
+
 	stop chan struct{} // interval syncer shutdown
 	done chan struct{}
 }
@@ -140,6 +150,13 @@ type StoreStats struct {
 	WALRecords  int64
 	WALSegments int
 	FsyncPolicy string
+	// RetainedSegments counts sealed segments a snapshot already
+	// covers that follower pins keep on disk.
+	RetainedSegments int
+	// Pins counts live follower retention pins.
+	Pins int
+	// Evictions counts pins dropped by the bounded-lag policy.
+	Evictions int64
 }
 
 // ErrClosed reports an operation on a closed store.
@@ -162,11 +179,15 @@ func Open(dir string, policy FsyncPolicy, interval time.Duration) (*Store, *Reco
 	_ = os.Remove(filepath.Join(dir, snapTmpName))
 
 	s := &Store{
-		dir:      dir,
-		policy:   policy,
-		interval: interval,
-		segs:     make(map[uint64]int64),
-		segRecs:  make(map[uint64]int64),
+		dir:         dir,
+		policy:      policy,
+		interval:    interval,
+		segs:        make(map[uint64]int64),
+		segRecs:     make(map[uint64]int64),
+		notify:      make(chan struct{}),
+		pins:        make(map[string]*pinInfo),
+		retainBytes: 256 << 20,
+		pinTTL:      time.Minute,
 	}
 	info := &RecoveryInfo{}
 
@@ -382,6 +403,7 @@ func (s *Store) Append(rec *Record) (int64, error) {
 	s.segRecs[s.seq]++
 	s.walBytes += n
 	s.walRecords++
+	s.notifyLocked()
 	return n, nil
 }
 
@@ -408,12 +430,20 @@ func (s *Store) Rotate() error {
 		return err
 	}
 	s.seq++
-	return s.openSegment()
+	err := s.openSegment()
+	if err == nil {
+		// Wake tailing readers parked at the sealed end of the old
+		// active segment so they advance to the new one.
+		s.notifyLocked()
+	}
+	return err
 }
 
 // WriteCheckpoint atomically replaces the snapshot with cp and deletes
-// the WAL segments it covers (every sealed segment).  It runs off the
-// commit path: appends to the active segment proceed concurrently.
+// the WAL segments it covers (every sealed segment), except those a
+// follower retention pin still needs — see sweepRetentionLocked.  It
+// runs off the commit path: appends to the active segment proceed
+// concurrently.
 func (s *Store) WriteCheckpoint(cp *incr.Checkpoint) error {
 	tmp := filepath.Join(s.dir, snapTmpName)
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
@@ -434,6 +464,14 @@ func (s *Store) WriteCheckpoint(cp *incr.Checkpoint) error {
 		os.Remove(tmp)
 		return err
 	}
+	// Crash-window hook for the recovery harness: hold the install
+	// open between the tmp write and the rename so a SIGKILL can land
+	// provably mid-checkpoint.
+	if d := os.Getenv("REPRO_CKPT_DELAY"); d != "" {
+		if dur, err := time.ParseDuration(d); err == nil {
+			time.Sleep(dur)
+		}
+	}
 	if err := os.Rename(tmp, filepath.Join(s.dir, snapName)); err != nil {
 		os.Remove(tmp)
 		return err
@@ -442,23 +480,19 @@ func (s *Store) WriteCheckpoint(cp *incr.Checkpoint) error {
 		return err
 	}
 
-	// The snapshot is durable: sealed segments are now redundant.
+	// The snapshot is durable: sealed segments are now redundant, and
+	// those no pin retains may be deleted.
 	s.mu.Lock()
-	active := s.seq
-	var covered []uint64
-	for seq := range s.segs {
-		if seq < active {
-			covered = append(covered, seq)
-		}
-	}
-	for _, seq := range covered {
+	s.covered = s.seq
+	drop := s.sweepRetentionLocked(s.covered)
+	for _, seq := range drop {
 		s.walBytes -= s.segs[seq]
 		s.walRecords -= s.segRecs[seq]
 		delete(s.segs, seq)
 		delete(s.segRecs, seq)
 	}
 	s.mu.Unlock()
-	for _, seq := range covered {
+	for _, seq := range drop {
 		if err := os.Remove(s.segPath(seq)); err != nil && !os.IsNotExist(err) {
 			return err
 		}
@@ -470,11 +504,20 @@ func (s *Store) WriteCheckpoint(cp *incr.Checkpoint) error {
 func (s *Store) Stats() StoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	retained := 0
+	for seq := range s.segs {
+		if seq < s.covered {
+			retained++
+		}
+	}
 	return StoreStats{
-		WALBytes:    s.walBytes,
-		WALRecords:  s.walRecords,
-		WALSegments: len(s.segs), // sealed live segments + active
-		FsyncPolicy: s.policy.String(),
+		WALBytes:         s.walBytes,
+		WALRecords:       s.walRecords,
+		WALSegments:      len(s.segs), // sealed live segments + active
+		FsyncPolicy:      s.policy.String(),
+		RetainedSegments: retained,
+		Pins:             len(s.pins),
+		Evictions:        s.evictions,
 	}
 }
 
@@ -491,6 +534,7 @@ func (s *Store) Close() error {
 	if cerr := s.f.Close(); err == nil {
 		err = cerr
 	}
+	s.notifyLocked()
 	s.mu.Unlock()
 	if s.stop != nil {
 		close(s.stop)

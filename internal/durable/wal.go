@@ -153,6 +153,32 @@ func (d *recDecoder) facts(n int) []incr.Fact {
 	return facts
 }
 
+// ScanFrames splits a stream of framed records — the exact bytes
+// Store.ReadWAL serves, which are the exact bytes on disk — into
+// verified record payloads.  Used by replication followers to decode
+// shipped WAL data with the same checks recovery applies.
+func ScanFrames(data []byte) ([][]byte, error) {
+	var payloads [][]byte
+	off := 0
+	for off < len(data) {
+		if len(data)-off < 8 {
+			return nil, ErrTornRecord
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n > maxRecordBytes || len(data)-off-8 < int(n) {
+			return nil, ErrTornRecord
+		}
+		payload := data[off+8 : off+8+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return nil, ErrTornRecord
+		}
+		payloads = append(payloads, payload)
+		off += 8 + int(n)
+	}
+	return payloads, nil
+}
+
 // writeFrame writes one framed record: little-endian payload length
 // and CRC32 (IEEE), then the payload.
 func writeFrame(w io.Writer, payload []byte) (int64, error) {

@@ -9,10 +9,14 @@
 //
 //	400 bad_request    malformed JSON, wrong arity, magic unsupported
 //	404 not_found      unknown relation
+//	409 diverged       replica cursor past the leader's durable history
+//	410 compacted      replica cursor before the retained WAL history
 //	413 too_large      request body over Config.MaxBodyBytes
 //	422 unprocessable  valid shape the engine rejects (IDB update,
 //	                   insert+delete conflict, rewrite failure)
 //	429 overloaded     update queue full (Retry-After is set)
+//	503 not_leader     update sent to a read-only follower
+//	                   (X-Leader-Addr names the writable leader)
 //	503 unavailable    server shutting down
 package server
 
@@ -31,6 +35,9 @@ const (
 	CodeUnprocessable = "unprocessable"
 	CodeOverloaded    = "overloaded"
 	CodeUnavailable   = "unavailable"
+	CodeNotLeader     = "not_leader"
+	CodeCompacted     = "compacted"
+	CodeDiverged      = "diverged"
 )
 
 // ErrorBody is the inner object of the error envelope.
@@ -102,6 +109,12 @@ type UpdateResponse struct {
 	Stats      *incr.UpdateStats `json:"stats"`
 }
 
+// PromoteResponse answers POST /v1/replica/promote.
+type PromoteResponse struct {
+	Promoted   bool   `json:"promoted"`
+	Generation uint64 `json:"generation"`
+}
+
 // QueueMetrics reports the group-commit queue.
 type QueueMetrics struct {
 	Depth     int     `json:"depth"`
@@ -165,6 +178,29 @@ type DurableMetrics struct {
 	RecoveredSnapshot       bool    `json:"recovered_snapshot"`
 	RecoveryReplayedRecords int     `json:"recovery_replayed_records"`
 	RecoveryDurMs           float64 `json:"recovery_dur_ms"`
+	CheckpointInFlight      bool    `json:"checkpoint_in_flight"`
+	// Replication retention: sealed-but-retained segments, live
+	// follower pins, and pins dropped by the bounded-lag policy.
+	RetainedSegments int   `json:"retained_segments"`
+	ReplicaPins      int   `json:"replica_pins"`
+	ReplicaEvictions int64 `json:"replica_evictions"`
+}
+
+// ReplicaMetrics reports follower-mode replication: where the apply
+// loop has reached in the leader's WAL, how far behind it is, and how
+// rough the ride has been.  Present in /v1/metrics only on a follower.
+type ReplicaMetrics struct {
+	Leader         string  `json:"leader"`
+	ReadOnly       bool    `json:"read_only"`
+	AppliedSeq     uint64  `json:"applied_seq"`
+	AppliedOffset  int64   `json:"applied_offset"`
+	AppliedRecords int64   `json:"applied_records"`
+	AppliedBytes   int64   `json:"applied_bytes"`
+	LagRecords     int64   `json:"lag_records"`
+	LagBytes       int64   `json:"lag_bytes"`
+	LagMs          float64 `json:"lag_ms"`
+	Reconnects     int64   `json:"reconnects"`
+	Bootstraps     int64   `json:"bootstraps"`
 }
 
 // LatencyMetrics are microsecond latency estimates for one endpoint
@@ -194,6 +230,7 @@ type MetricsResponse struct {
 	Partition      PartitionMetrics           `json:"partition"`
 	Engine         EngineMetrics              `json:"engine"`
 	Durable        *DurableMetrics            `json:"durable,omitempty"`
+	Replica        *ReplicaMetrics            `json:"replica,omitempty"`
 	Endpoints      map[string]EndpointMetrics `json:"endpoints"`
 }
 

@@ -17,12 +17,15 @@
 //	          then streams it to disk off the commit path; the store
 //	          atomically replaces the snapshot and deletes the covered
 //	          segments.  Readers and the queue never stall.
-//	shutdown  Close flushes and closes the WAL after the committer
-//	          drains.
+//	shutdown  Close waits out any in-flight background checkpoint,
+//	          then flushes and closes the WAL after the committer
+//	          drains.  cmd/serve additionally calls CheckpointNow()
+//	          on SIGTERM, so a clean restart replays nothing.
 package server
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -50,7 +53,15 @@ type durState struct {
 	sinceBatches atomic.Int64
 	sinceBytes   atomic.Int64
 
-	inFlight     atomic.Bool // one background checkpoint at a time
+	// Checkpoint concurrency control.  inFlight gates the async
+	// trigger; ckptMu serializes the actual write (a synchronous
+	// CheckpointNow can overlap the trigger's goroutine); ckptWG is
+	// what Close waits on, so the store is never closed while a
+	// snapshot install is still in flight.
+	inFlight atomic.Bool
+	ckptMu   sync.Mutex
+	ckptWG   sync.WaitGroup
+
 	appendErrors atomic.Int64
 	checkpoints  atomic.Int64
 	ckptErrors   atomic.Int64
@@ -159,15 +170,44 @@ func (s *Server) maybeCheckpointAsync() {
 	if !hit || !d.inFlight.CompareAndSwap(false, true) {
 		return
 	}
-	go s.checkpointNow()
+	d.ckptWG.Add(1)
+	go func() {
+		defer d.ckptWG.Done()
+		defer d.inFlight.Store(false)
+		d.ckptMu.Lock()
+		defer d.ckptMu.Unlock()
+		s.checkpointOnce()
+	}()
 }
 
-// checkpointNow rotates the WAL and captures a sealed state image
-// under the maintainer lock — O(1), the queue barely notices — then
-// writes and installs the snapshot off the commit path.
-func (s *Server) checkpointNow() {
+// CheckpointNow synchronously rotates the WAL and writes a checkpoint,
+// so the next boot replays nothing — the graceful-shutdown path
+// cmd/serve runs on SIGTERM.  A no-op without a data dir or when no
+// batch has been logged since the last checkpoint.  Serialized against
+// the background trigger; safe for concurrent use.
+func (s *Server) CheckpointNow() error {
 	d := s.dur
-	defer d.inFlight.Store(false)
+	if d == nil {
+		return nil
+	}
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	if d.sinceBatches.Load() == 0 && d.sinceBytes.Load() == 0 {
+		return nil
+	}
+	return s.checkpointOnce()
+}
+
+// testCkptGate, when set (tests only), runs between the state capture
+// and the snapshot write — the window Close must fence.
+var testCkptGate func()
+
+// checkpointOnce rotates the WAL and captures a sealed state image
+// under the maintainer lock — O(1), the queue barely notices — then
+// writes and installs the snapshot off the commit path.  Callers hold
+// d.ckptMu.
+func (s *Server) checkpointOnce() error {
+	d := s.dur
 	start := time.Now()
 
 	s.mu.Lock()
@@ -175,7 +215,7 @@ func (s *Server) checkpointNow() {
 		// The maintainer holds a batch the WAL rejected; a snapshot
 		// taken now would make that unacknowledged batch durable.
 		s.mu.Unlock()
-		return
+		return ErrWALFailed
 	}
 	err := d.store.Rotate()
 	var cp *incr.Checkpoint
@@ -188,11 +228,14 @@ func (s *Server) checkpointNow() {
 	s.mu.Unlock()
 
 	if err == nil {
+		if testCkptGate != nil {
+			testCkptGate()
+		}
 		err = d.store.WriteCheckpoint(cp)
 	}
 	if err != nil {
 		d.ckptErrors.Add(1)
-		return
+		return err
 	}
 	// Subtract (rather than zero) what the snapshot covered, only now
 	// that it is durable: appends that raced the write keep counting
@@ -203,6 +246,7 @@ func (s *Server) checkpointNow() {
 	d.checkpoints.Add(1)
 	d.lastCkptNano.Store(time.Now().UnixNano())
 	d.lastCkptDur.Store(int64(time.Since(start)))
+	return nil
 }
 
 // durableMetrics renders the /v1/metrics durable block, or nil when
@@ -224,6 +268,10 @@ func (s *Server) durableMetrics(now time.Time) *DurableMetrics {
 		RecoveredSnapshot:       d.recoveredSnapshot,
 		RecoveryReplayedRecords: d.replayedRecords,
 		RecoveryDurMs:           float64(d.recoveryDur) / float64(time.Millisecond),
+		CheckpointInFlight:      d.inFlight.Load(),
+		RetainedSegments:        st.RetainedSegments,
+		ReplicaPins:             st.Pins,
+		ReplicaEvictions:        st.Evictions,
 	}
 	if nano := d.lastCkptNano.Load(); nano > 0 {
 		dm.LastCheckpointAgeSec = now.Sub(time.Unix(0, nano)).Seconds()

@@ -64,7 +64,7 @@ func TestWALAppendFailureFencesWrites(t *testing.T) {
 	// No checkpoint may absorb the unlogged batch.
 	ckpts := srv.dur.checkpoints.Load()
 	srv.maybeCheckpointAsync()
-	srv.checkpointNow()
+	srv.checkpointOnce()
 	if got := srv.dur.checkpoints.Load(); got != ckpts {
 		t.Fatalf("checkpoint ran while fenced: %d, want %d", got, ckpts)
 	}
@@ -105,7 +105,7 @@ func TestCheckpointFailureKeepsTriggerTripped(t *testing.T) {
 	if err := os.RemoveAll(dir); err != nil {
 		t.Fatal(err)
 	}
-	srv.checkpointNow()
+	srv.checkpointOnce()
 	if got := srv.dur.ckptErrors.Load(); got != 1 {
 		t.Fatalf("ckptErrors = %d, want 1", got)
 	}

@@ -36,7 +36,8 @@ type srvMetrics struct {
 }
 
 // endpointNames are the instrumented endpoints, in display order.
-var endpointNames = []string{"stats", "relation", "query", "update", "metrics"}
+var endpointNames = []string{"stats", "relation", "query", "update", "metrics",
+	"replica_snapshot", "replica_wal", "replica_promote"}
 
 func newSrvMetrics() *srvMetrics {
 	m := &srvMetrics{endpoints: make(map[string]*metrics.Endpoint, len(endpointNames))}
@@ -137,6 +138,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp.Durable = s.durableMetrics(now)
+
+	s.hookMu.Lock()
+	repStats := s.repStats
+	s.hookMu.Unlock()
+	if repStats != nil {
+		resp.Replica = repStats()
+		resp.Replica.ReadOnly = s.readOnly.Load()
+	}
 
 	for name, ep := range s.met.endpoints {
 		resp.Endpoints[name] = EndpointMetrics{

@@ -48,6 +48,10 @@ var (
 	// ErrWALFailed is returned for updates after a WAL append failure
 	// fenced the write path; reads keep serving the last durable state.
 	ErrWALFailed = errors.New("server: WAL append failed; updates disabled until restart")
+	// ErrNotLeader is returned for updates sent to a read-only
+	// replication follower (503 not_leader over HTTP, with the leader's
+	// address in X-Leader-Addr).
+	ErrNotLeader = errors.New("server: read-only follower; send updates to the leader")
 )
 
 // updateJob is one enqueued update request.
@@ -70,6 +74,9 @@ type updateDone struct {
 // Errors: ErrQueueFull (admission control), ErrClosed (after Close),
 // or a validation/maintenance error for this request.
 func (s *Server) EnqueueUpdate(ins, del []incr.Fact) (*incr.UpdateStats, uint64, int, error) {
+	if s.readOnly.Load() {
+		return nil, 0, 0, ErrNotLeader
+	}
 	if err := s.validateUpdate(ins, del); err != nil {
 		return nil, 0, 0, err
 	}
@@ -283,8 +290,11 @@ func coalesce(batch []*updateJob) (ins, del []incr.Fact) {
 
 // Close stops the committer: queued-but-uncommitted jobs and all later
 // updates fail with ErrClosed (503 over HTTP).  Reads keep working
-// from the last published snapshot.  With durability on, the WAL is
-// flushed and closed after the committer drains, so every acknowledged
+// from the last published snapshot.  With durability on, Close first
+// waits out any in-flight background checkpoint (closing the store
+// mid-install would abandon a half-written snapshot and break the
+// "everything durable when Close returns" contract), then flushes and
+// closes the WAL after the committer drains, so every acknowledged
 // batch is on disk when Close returns.  Safe to call more than once.
 func (s *Server) Close() {
 	if s.closed.CompareAndSwap(false, true) {
@@ -292,6 +302,7 @@ func (s *Server) Close() {
 	}
 	<-s.qdone
 	if s.dur != nil {
+		s.dur.ckptWG.Wait()
 		s.mu.Lock()
 		s.dur.store.Close()
 		s.mu.Unlock()

@@ -91,6 +91,18 @@ type Config struct {
 	// a checkpoint; with both 0 and DataDir set, 256 batches is used.
 	CheckpointBatches int
 	CheckpointBytes   int64
+
+	// ReadOnly starts the server as a replication follower: updates
+	// fail with 503 not_leader and LeaderAddr names the writable
+	// leader in the X-Leader-Addr response header.  Promote() flips
+	// the server writable.
+	ReadOnly   bool
+	LeaderAddr string
+	// RetainBytes bounds covered-but-pinned WAL retention for lagging
+	// followers (0 keeps the store's 256 MiB default); RetainTTL
+	// expires pins of followers that stopped polling (0 keeps 60s).
+	RetainBytes int64
+	RetainTTL   time.Duration
 }
 
 // withDefaults fills the zero fields.
@@ -124,6 +136,15 @@ type Server struct {
 	start time.Time
 	met   *srvMetrics
 	dur   *durState // durability runtime, nil without DataDir
+
+	// Replication (replica.go): follower read-only gating and the
+	// hooks a follower loop registers so /v1/metrics and promotion
+	// reach it.
+	readOnly   atomic.Bool
+	leaderAddr string
+	hookMu     sync.Mutex
+	repStats   func() *ReplicaMetrics
+	onPromote  func()
 
 	// Group-commit update queue (queue.go).
 	queue  chan *updateJob
@@ -190,6 +211,11 @@ func NewWith(prog *ast.Program, db *relation.Database, sem core.Semantics, cfg C
 		qstop:    make(chan struct{}),
 		qdone:    make(chan struct{}),
 		rewrites: make(map[string]*magic.Rewritten),
+	}
+	s.leaderAddr = cfg.LeaderAddr
+	s.readOnly.Store(cfg.ReadOnly)
+	if dur != nil && (cfg.RetainBytes > 0 || cfg.RetainTTL > 0) {
+		dur.store.SetRetention(cfg.RetainBytes, cfg.RetainTTL)
 	}
 	// One rule for every entry point: LFP and stratified always,
 	// inflationary exactly where it coincides with LFP.
@@ -291,6 +317,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/query", s.instrument("query", s.handleQuery))
 	mux.HandleFunc("POST /v1/update", s.instrument("update", s.handleUpdate))
 	mux.HandleFunc("GET /v1/metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /v1/replica/snapshot", s.instrument("replica_snapshot", s.handleReplicaSnapshot))
+	mux.HandleFunc("GET /v1/replica/wal", s.instrument("replica_wal", s.handleReplicaWAL))
+	mux.HandleFunc("POST /v1/replica/promote", s.instrument("replica_promote", s.handleReplicaPromote))
 	return mux
 }
 
@@ -486,6 +515,12 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	stats, gen, coalesced, err := s.EnqueueUpdate(u.Insert, u.Delete)
 	switch {
+	case errors.Is(err, ErrNotLeader):
+		if s.leaderAddr != "" {
+			w.Header().Set("X-Leader-Addr", s.leaderAddr)
+		}
+		writeError(w, http.StatusServiceUnavailable, CodeNotLeader, err.Error())
+		return
 	case errors.Is(err, ErrQueueFull):
 		writeError(w, http.StatusTooManyRequests, CodeOverloaded, "update queue full; retry")
 		return
